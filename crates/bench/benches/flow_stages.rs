@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks of every flow stage: the two paper
+//! insertions (cell substitution, interconnect decomposition) plus
+//! synthesis, placement, routing, extraction, simulation and
+//! equivalence checking — the data behind the E8 runtime claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use secflow_cells::Library;
+use secflow_core::{decompose, run_secure_flow, substitute, FlowOptions, WddlLibrary};
+use secflow_crypto::bench_gen::synthetic_design;
+use secflow_crypto::dpa_module::des_dpa_design;
+use secflow_dpa::attack::dpa_attack;
+use secflow_dpa::harness::{collect_des_traces, DesTarget};
+use secflow_lec::check_equiv_with_parity;
+use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
+use secflow_sim::SimConfig;
+use secflow_synth::{map_design, MapOptions};
+
+fn bench_substitution(c: &mut Criterion) {
+    let lib = Library::lib180();
+    let mut group = c.benchmark_group("cell_substitution");
+    group.sample_size(10);
+    for &gates in &[500usize, 2000, 8000] {
+        let design = synthetic_design("sub", gates, 64, 3);
+        let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &mapped, |b, nl| {
+            b.iter(|| substitute(black_box(nl), &lib).expect("substitute"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let lib = Library::lib180();
+    let design = des_dpa_design();
+    let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
+    let sub = substitute(&mapped, &lib).expect("substitute");
+    let placed = place(
+        &sub.fat,
+        &sub.fat_lib,
+        &PlaceOptions {
+            pitch: GridPitch::Fat,
+            anneal_moves_per_gate: 20,
+            ..Default::default()
+        },
+    );
+    let routed = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default())
+        .expect("route");
+    c.bench_function("interconnect_decomposition_des", |b| {
+        b.iter(|| decompose(black_box(&routed), &sub));
+    });
+}
+
+fn bench_pnr(c: &mut Criterion) {
+    let lib = Library::lib180();
+    let design = des_dpa_design();
+    let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
+    let mut group = c.benchmark_group("place_and_route_des");
+    group.sample_size(10);
+    group.bench_function("placement", |b| {
+        b.iter(|| {
+            place(
+                black_box(&mapped),
+                &lib,
+                &PlaceOptions {
+                    anneal_moves_per_gate: 40,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    let placed = place(
+        &mapped,
+        &lib,
+        &PlaceOptions {
+            anneal_moves_per_gate: 40,
+            ..Default::default()
+        },
+    );
+    group.bench_function("routing", |b| {
+        b.iter(|| {
+            route(
+                black_box(&mapped),
+                &lib,
+                &placed,
+                &RouteOptions::default(),
+            )
+            .expect("route")
+        });
+    });
+    group.finish();
+}
+
+fn bench_wddl_library(c: &mut Criterion) {
+    let lib = Library::lib180();
+    c.bench_function("wddl_derive_base_cells", |b| {
+        b.iter(|| {
+            let mut w = WddlLibrary::new(black_box(&lib));
+            w.derive_base_cells()
+        });
+    });
+}
+
+fn bench_lec(c: &mut Criterion) {
+    let lib = Library::lib180();
+    let design = des_dpa_design();
+    let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
+    let sub = substitute(&mapped, &lib).expect("substitute");
+    c.bench_function("lec_fat_vs_original_des", |b| {
+        b.iter(|| {
+            check_equiv_with_parity(
+                black_box(&mapped),
+                &lib,
+                &sub.fat,
+                &sub.fat_lib,
+                Some(&sub.fat_output_parity),
+                Some(&sub.fat_register_parity),
+            )
+            .expect("lec")
+        });
+    });
+}
+
+fn bench_power_sim_and_attack(c: &mut Criterion) {
+    let lib = Library::lib180();
+    let design = des_dpa_design();
+    let secure = run_secure_flow(&design, &lib, &FlowOptions::default()).expect("flow");
+    let cfg = SimConfig {
+        samples_per_cycle: 200,
+        ..Default::default()
+    };
+    let target = DesTarget {
+        netlist: &secure.substitution.differential,
+        lib: &secure.substitution.diff_lib,
+        parasitics: Some(&secure.parasitics),
+        wddl_inputs: Some(&secure.substitution.input_pairs),
+            glitch_free: false,
+        };
+    let mut group = c.benchmark_group("dpa_pipeline");
+    group.sample_size(10);
+    group.bench_function("simulate_50_encryptions_wddl", |b| {
+        b.iter(|| collect_des_traces(black_box(&target), &cfg, 46, 50, 1));
+    });
+    let set = collect_des_traces(&target, &cfg, 46, 200, 1);
+    group.bench_function("dpa_attack_200_traces_64_keys", |b| {
+        b.iter(|| dpa_attack(black_box(&set.traces), 64, set.selector()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substitution,
+    bench_decomposition,
+    bench_pnr,
+    bench_wddl_library,
+    bench_lec,
+    bench_power_sim_and_attack
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment E10 — §4.2: Electromagnetic Analysis and the
+//! differential-pair geometry.
+//!
+//! The paper's Fig. 7 argument: differential output wires are routed
+//! ~1 µm apart with lengths of 10–100 µm, while an EM probe sits
+//! 1–10 mm away. To exploit EM the attacker must tell which of the two
+//! wires carried the charge; this experiment quantifies the relative
+//! field difference between those two events over probe distance and
+//! wire geometry, plus a whole-layout comparison.
+//!
+//! Usage: `exp_ema_probe`.
+
+use secflow_bench::build_des_implementations;
+use secflow_cells::TRACK_UM;
+use secflow_dpa::ema::{layout_field, pair_discrimination};
+
+fn main() {
+    println!("=== E10: EM discrimination of differential pairs (§4.2, Fig. 7) ===\n");
+    println!("relative field difference |B_railA - B_railB| / B_avg");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "probe (um)", "len 10 um", "len 100 um", "len 100, sep 5"
+    );
+    for dist in [10.0, 100.0, 1_000.0, 3_000.0, 10_000.0] {
+        println!(
+            "{:>12} {:>14.3e} {:>14.3e} {:>14.3e}",
+            dist,
+            pair_discrimination(10.0, 1.0, dist),
+            pair_discrimination(100.0, 1.0, dist),
+            pair_discrimination(100.0, 5.0, dist),
+        );
+    }
+    println!(
+        "\nat the paper's probe distances (1-10 mm) the discrimination is below 1e-3:\n\
+         the two rails are indistinguishable; at wafer-probe distances (10 um) they are not."
+    );
+
+    // Whole-layout version: the decomposed DES module; compare the
+    // total field when the true rails switch vs when the false rails
+    // switch (same |charge|, opposite rail selection).
+    eprintln!("\nbuilding the secure implementation for the layout-level check...");
+    let imps = build_des_implementations();
+    let sub = &imps.secure.substitution;
+    let layout = &imps.secure.decomposed;
+
+    let die_w = f64::from(layout.placed.width) * TRACK_UM;
+    let die_h = f64::from(layout.placed.height) * TRACK_UM;
+    println!("decomposed layout: {die_w:.0} x {die_h:.0} um");
+
+    println!(
+        "\n{:>14} {:>16} {:>16} {:>14}",
+        "probe z (um)", "B(true rails)", "B(false rails)", "rel diff"
+    );
+    for z in [50.0, 200.0, 1_000.0, 5_000.0] {
+        let probe = [die_w / 2.0, die_h / 2.0, z];
+        let t_currents: Vec<_> = sub.pairs.iter().map(|p| (p.t, 1.0)).collect();
+        let f_currents: Vec<_> = sub.pairs.iter().map(|p| (p.f, 1.0)).collect();
+        let bt = layout_field(layout, TRACK_UM, &t_currents, probe);
+        let bf = layout_field(layout, TRACK_UM, &f_currents, probe);
+        let rel = (bt - bf).abs() / ((bt + bf) / 2.0);
+        println!("{z:>14} {bt:>16.4e} {bf:>16.4e} {rel:>14.3e}");
+    }
+    println!(
+        "\nthe two complementary switching events produce near-identical fields at\n\
+         millimetre probe distances — the EMA channel collapses to the power channel."
+    );
+}

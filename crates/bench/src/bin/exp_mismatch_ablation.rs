@@ -1,0 +1,170 @@
+//! Experiment E12 — ablation of §2.2: is the fat-wire differential-
+//! pair routing actually necessary, or would WDDL cells with ordinary
+//! routing suffice?
+//!
+//! Builds the same differential WDDL netlist twice:
+//!
+//! * **paper flow** — fat routing + interconnect decomposition (the
+//!   two rails are parallel wires one track apart);
+//! * **naive flow** — the differential netlist is placed and routed
+//!   directly, each rail as an independent net.
+//!
+//! Reports the per-pair capacitance mismatch of both layouts and runs
+//! the DPA against both.
+//!
+//! Usage: `exp_mismatch_ablation [n_traces] [seed]` (defaults 1000, 1).
+
+use secflow_bench::{build_des_implementations, header_cols, paper_sim_config, row};
+use secflow_crypto::dpa_module::PAPER_KEY;
+use secflow_dpa::attack::mtd_scan;
+use secflow_dpa::stats::EnergyStats;
+use secflow_dpa::harness::{collect_des_traces, DesTarget};
+use secflow_core::{decompose_styled, DecomposeStyle};
+use secflow_extract::{extract, pair_mismatch, Technology};
+use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    eprintln!("building the secure implementation (paper flow)...");
+    let imps = build_des_implementations();
+    let sub = &imps.secure.substitution;
+    let pair_list: Vec<_> = sub.pairs.iter().map(|p| (p.t, p.f)).collect();
+
+    eprintln!("routing the differential netlist naively (ablation)...");
+    let naive_placed = place(
+        &sub.differential,
+        &sub.diff_lib,
+        &PlaceOptions {
+            pitch: GridPitch::Normal,
+            ..Default::default()
+        },
+    );
+    let naive_routed = route(
+        &sub.differential,
+        &sub.diff_lib,
+        &naive_placed,
+        &RouteOptions::default(),
+    )
+    .expect("naive routing");
+    let tech = Technology::default();
+    let naive_par = extract(&naive_routed, &sub.differential, &tech);
+
+    let summarize = |par: &secflow_extract::Parasitics| -> (f64, f64) {
+        let reports = pair_mismatch(par, &pair_list);
+        let routed: Vec<_> = reports
+            .iter()
+            .filter(|m| m.cap_t_ff + m.cap_f_ff > 0.0)
+            .collect();
+        let mean = routed.iter().map(|m| m.relative).sum::<f64>() / routed.len() as f64;
+        let max = routed.iter().map(|m| m.relative).fold(0.0, f64::max);
+        (mean, max)
+    };
+    let (paper_mean, paper_max) = summarize(&imps.secure.parasitics);
+    let (naive_mean, naive_max) = summarize(&naive_par);
+
+    // E13: the paper's §2.2 hardening options — shields or wider pair
+    // spacing ("the tradeoff is an increase in silicon area").
+    let styled = |style: DecomposeStyle| {
+        let d = decompose_styled(&imps.secure.fat_routed, sub, style);
+        let par = extract(&d, &sub.differential, &tech);
+        summarize(&par)
+    };
+    let (spaced_mean, spaced_max) = styled(DecomposeStyle::Spaced);
+    let (shield_mean, shield_max) = styled(DecomposeStyle::Shielded);
+
+    println!("\n=== E12/E13: differential-pair capacitance mismatch ===");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>14}",
+        "metric", "naive routing", "paper (dense)", "spaced", "shielded"
+    );
+    println!(
+        "{:<24} {:>13.2}% {:>13.2}% {:>13.2}% {:>13.2}%",
+        "mean pair mismatch",
+        naive_mean * 100.0,
+        paper_mean * 100.0,
+        spaced_mean * 100.0,
+        shield_mean * 100.0
+    );
+    println!(
+        "{:<24} {:>13.2}% {:>13.2}% {:>13.2}% {:>13.2}%",
+        "max pair mismatch",
+        naive_max * 100.0,
+        paper_max * 100.0,
+        spaced_max * 100.0,
+        shield_max * 100.0
+    );
+    println!(
+        "{:<24} {:>13.2}x {:>13.2}x {:>13.2}x {:>13.2}x",
+        "relative die area",
+        1.0, // the naive layout sizes itself
+        1.0,
+        (DecomposeStyle::Spaced.scale() as f64 / 2.0).powi(2),
+        (DecomposeStyle::Shielded.scale() as f64 / 2.0).powi(2)
+    );
+
+    eprintln!("\nsimulating {n} encryptions against both layouts...");
+    let cfg = paper_sim_config();
+    let step = (n / 20).max(10);
+    let paper_set = collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed);
+    let naive_target = DesTarget {
+        netlist: &sub.differential,
+        lib: &sub.diff_lib,
+        parasitics: Some(&naive_par),
+        wddl_inputs: Some(&sub.input_pairs),
+            glitch_free: false,
+        };
+    let naive_set = collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed);
+
+    let paper_scan = mtd_scan(&paper_set.traces, 64, PAPER_KEY, step, paper_set.selector());
+    let naive_scan = mtd_scan(&naive_set.traces, 64, PAPER_KEY, step, naive_set.selector());
+
+    let paper_stats = EnergyStats::of(&paper_set.energies, 1);
+    let naive_stats = EnergyStats::of(&naive_set.energies, 1);
+    header_cols(
+        "power-signature quality (energy per encryption)",
+        "paper flow",
+        "naive routing",
+    );
+    row(
+        "normalized energy deviation (%)",
+        format!("{:.2}", paper_stats.ned * 100.0),
+        format!("{:.2}", naive_stats.ned * 100.0),
+    );
+    row(
+        "normalized std deviation (%)",
+        format!("{:.3}", paper_stats.nsd * 100.0),
+        format!("{:.3}", naive_stats.nsd * 100.0),
+    );
+
+    header_cols(
+        "DPA outcome (both are WDDL; only the routing differs)",
+        "paper flow",
+        "naive routing",
+    );
+    row(
+        "MTD",
+        paper_scan
+            .mtd
+            .map_or("not disclosed".into(), |m| format!("{m}")),
+        naive_scan
+            .mtd
+            .map_or("not disclosed".into(), |m| format!("{m}")),
+    );
+    let last = |s: &secflow_dpa::attack::MtdScan| {
+        let p = s.points.last().expect("points");
+        format!("{:.2}", p.correct_peak / p.best_wrong_peak.max(1e-12))
+    };
+    row(
+        "final correct/wrong peak ratio",
+        last(&paper_scan),
+        last(&naive_scan),
+    );
+    println!(
+        "\nthe paper's claim: WDDL logic alone is not enough — without matched\n\
+         interconnect capacitances (fat routing + decomposition) the residual pair\n\
+         mismatch restores a usable power side channel."
+    );
+}

@@ -1,0 +1,90 @@
+//! Shared experiment plumbing for the benchmark harness: builds the
+//! paper's two DES-module implementations (regular flow vs secure
+//! flow) and provides consistent reporting helpers.
+
+use secflow_cells::Library;
+use secflow_core::{
+    run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,
+};
+use secflow_crypto::dpa_module::des_dpa_design;
+use secflow_dpa::harness::DesTarget;
+use secflow_sim::SimConfig;
+
+/// Both implementations of the Fig. 4 DES module, fully placed,
+/// routed and extracted.
+pub struct DesImplementations {
+    /// The base standard cell library.
+    pub lib: Library,
+    /// Regular (reference) flow result.
+    pub regular: RegularFlowResult,
+    /// Secure flow result.
+    pub secure: SecureFlowResult,
+}
+
+/// Runs both flows on the DES DPA module with the paper's settings
+/// (aspect ratio 1, fill factor 80 %).
+///
+/// # Panics
+///
+/// Panics if either flow fails — the experiment cannot proceed.
+pub fn build_des_implementations() -> DesImplementations {
+    let design = des_dpa_design();
+    let lib = Library::lib180();
+    let opts = FlowOptions::default();
+    let regular = run_regular_flow(&design, &lib, &opts).expect("regular flow");
+    let secure = run_secure_flow(&design, &lib, &opts).expect("secure flow");
+    DesImplementations {
+        lib,
+        regular,
+        secure,
+    }
+}
+
+impl DesImplementations {
+    /// Simulation target for the regular implementation (with layout
+    /// parasitics).
+    pub fn regular_target(&self) -> DesTarget<'_> {
+        DesTarget {
+            netlist: &self.regular.netlist,
+            lib: &self.lib,
+            parasitics: Some(&self.regular.parasitics),
+            wddl_inputs: None,
+            glitch_free: false,
+        }
+    }
+
+    /// Simulation target for the secure implementation (with layout
+    /// parasitics of the decomposed differential design).
+    pub fn secure_target(&self) -> DesTarget<'_> {
+        DesTarget {
+            netlist: &self.secure.substitution.differential,
+            lib: &self.secure.substitution.diff_lib,
+            parasitics: Some(&self.secure.parasitics),
+            wddl_inputs: Some(&self.secure.substitution.input_pairs),
+            glitch_free: false,
+        }
+    }
+}
+
+/// The paper's measurement configuration: 125 MHz, 800 samples per
+/// cycle, 1.8 V.
+pub fn paper_sim_config() -> SimConfig {
+    SimConfig::default()
+}
+
+/// Prints a labelled table row (fixed-width columns, for experiment
+/// output).
+pub fn row(label: &str, reference: impl std::fmt::Display, secure: impl std::fmt::Display) {
+    println!("{label:<38} {reference:>16} {secure:>16}");
+}
+
+/// Prints a table header with the default reference/secure columns.
+pub fn header(title: &str) {
+    header_cols(title, "reference", "secure");
+}
+
+/// Prints a table header with custom column labels.
+pub fn header_cols(title: &str, col1: &str, col2: &str) {
+    println!("\n=== {title} ===");
+    println!("{:<38} {col1:>16} {col2:>16}", "metric");
+}

@@ -1,0 +1,438 @@
+//! Text exports of the library in Liberty-like (`.lib`) and LEF-like
+//! (`.lef`) formats — the `lib.v` / `fat_lib.lef` / `diff_lib.lef`
+//! artifacts of the paper's flow.
+//!
+//! The formats are simplified but structurally faithful: one `cell`
+//! group per library cell with function, per-pin capacitance, timing
+//! and footprint data. They exist so the flow's intermediate products
+//! can be inspected and diffed like their industrial counterparts.
+
+use std::fmt::Write as _;
+
+use crate::cell::CellFunction;
+use crate::lef::{ROW_HEIGHT_UM, TRACK_UM};
+use crate::library::Library;
+use crate::sop::Sop;
+use crate::tt::isop;
+
+/// Renders a cover as a Liberty-style boolean expression over pins
+/// `A..H`.
+fn function_expr(cover: &Sop) -> String {
+    const PINS: [char; 8] = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'];
+    if cover.cubes().is_empty() {
+        return "0".into();
+    }
+    let mut terms = Vec::new();
+    for cube in cover.cubes() {
+        let mut lits = Vec::new();
+        for v in 0..8u8 {
+            if cube.pos_mask() >> v & 1 == 1 {
+                lits.push(format!("{}", PINS[v as usize]));
+            }
+            if cube.neg_mask() >> v & 1 == 1 {
+                lits.push(format!("!{}", PINS[v as usize]));
+            }
+        }
+        if lits.is_empty() {
+            return "1".into();
+        }
+        terms.push(lits.join("*"));
+    }
+    terms.join(" + ")
+}
+
+impl Library {
+    /// Serializes the library in a Liberty-like text format.
+    pub fn to_liberty(&self, name: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "library ({name}) {{");
+        let _ = writeln!(s, "  time_unit : \"1ps\";");
+        let _ = writeln!(s, "  capacitive_load_unit (1, ff);");
+        for cell in self.cells() {
+            let _ = writeln!(s, "  cell ({}) {{", cell.name());
+            let _ = writeln!(s, "    area : {:.3};", cell.area_um2());
+            for i in 0..cell.input_count() {
+                let pin = char::from(b'A' + i as u8);
+                let pin = match cell.function() {
+                    CellFunction::Dff if i == 0 => 'D',
+                    _ => pin,
+                };
+                let _ = writeln!(s, "    pin ({pin}) {{");
+                let _ = writeln!(s, "      direction : input;");
+                let _ = writeln!(s, "      capacitance : {:.2};", cell.pin_cap_ff(i));
+                let _ = writeln!(s, "    }}");
+            }
+            match cell.function() {
+                CellFunction::Comb(tt) => {
+                    let _ = writeln!(s, "    pin (Y) {{");
+                    let _ = writeln!(s, "      direction : output;");
+                    let _ = writeln!(s, "      function : \"{}\";", function_expr(&isop(tt)));
+                    let _ = writeln!(
+                        s,
+                        "      intrinsic_delay : {:.1};",
+                        cell.intrinsic_delay_ps()
+                    );
+                    let _ = writeln!(s, "      drive_resistance : {:.2};", cell.drive_kohm());
+                    let _ = writeln!(s, "    }}");
+                }
+                CellFunction::Dff => {
+                    let _ = writeln!(s, "    ff (IQ) {{ next_state : \"D\"; }}");
+                    let _ = writeln!(s, "    pin (Q) {{");
+                    let _ = writeln!(s, "      direction : output;");
+                    let _ = writeln!(s, "      function : \"IQ\";");
+                    let _ = writeln!(
+                        s,
+                        "      intrinsic_delay : {:.1};",
+                        cell.intrinsic_delay_ps()
+                    );
+                    let _ = writeln!(s, "      drive_resistance : {:.2};", cell.drive_kohm());
+                    let _ = writeln!(s, "    }}");
+                }
+                CellFunction::WddlDff => {
+                    let _ = writeln!(s, "    ff_pair (IQT, IQF) {{ next_state : \"D A\"; }}");
+                    let _ = writeln!(s, "    pin (Q) {{ direction : output; }}");
+                    let _ = writeln!(s, "    pin (Q1) {{ direction : output; }}");
+                    let _ = writeln!(
+                        s,
+                        "    intrinsic_delay : {:.1};",
+                        cell.intrinsic_delay_ps()
+                    );
+                    let _ = writeln!(s, "    drive_resistance : {:.2};", cell.drive_kohm());
+                }
+                CellFunction::Tie(v) => {
+                    let _ = writeln!(s, "    pin (Y) {{");
+                    let _ = writeln!(s, "      direction : output;");
+                    let _ = writeln!(s, "      function : \"{}\";", u8::from(*v));
+                    let _ = writeln!(
+                        s,
+                        "      intrinsic_delay : {:.1};",
+                        cell.intrinsic_delay_ps()
+                    );
+                    let _ = writeln!(s, "      drive_resistance : {:.2};", cell.drive_kohm());
+                    let _ = writeln!(s, "    }}");
+                }
+            }
+            let _ = writeln!(s, "  }}");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Serializes the library's physical abstracts in a LEF-like text
+    /// format. `pitch_tracks` scales footprints (2 for the fat
+    /// library, whose grid units are double-pitch).
+    pub fn to_lef(&self, name: &str, pitch_tracks: u32) -> String {
+        let mut s = String::new();
+        let pitch = TRACK_UM * f64::from(pitch_tracks);
+        let _ = writeln!(s, "# LEF-like abstract of library `{name}`");
+        let _ = writeln!(s, "UNITS MICRONS ;");
+        let _ = writeln!(s, "PITCH {pitch:.3} ;");
+        for cell in self.cells() {
+            let mac = cell.physical();
+            let _ = writeln!(s, "MACRO {}", cell.name());
+            let _ = writeln!(
+                s,
+                "  SIZE {:.3} BY {:.3} ;",
+                f64::from(mac.width_tracks) * pitch,
+                ROW_HEIGHT_UM * f64::from(pitch_tracks)
+            );
+            for (i, &t) in mac.input_pin_tracks.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  PIN IN{i} X {:.3} ;",
+                    f64::from(t) * pitch
+                );
+            }
+            for (i, &t) in mac.output_pin_tracks.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  PIN OUT{i} X {:.3} ;",
+                    f64::from(t) * pitch
+                );
+            }
+            let _ = writeln!(s, "END {}", cell.name());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tt::TruthTable;
+
+    #[test]
+    fn liberty_contains_every_cell_with_functions() {
+        let lib = Library::lib180();
+        let text = lib.to_liberty("lib180");
+        for cell in lib.cells() {
+            assert!(
+                text.contains(&format!("cell ({})", cell.name())),
+                "{} missing",
+                cell.name()
+            );
+        }
+        // Spot checks.
+        assert!(text.contains("function : \"A*B\";")); // AND2
+        assert!(text.contains("next_state : \"D\";")); // DFF
+    }
+
+    #[test]
+    fn function_expr_renders_literals() {
+        let xor = isop(&TruthTable::xor2());
+        let e = function_expr(&xor);
+        assert!(e.contains('!'));
+        assert!(e.contains(" + "));
+        assert_eq!(function_expr(&isop(&TruthTable::zero(2))), "0");
+        assert_eq!(function_expr(&isop(&TruthTable::one(2))), "1");
+    }
+
+    #[test]
+    fn lef_scales_with_pitch() {
+        let lib = Library::lib180();
+        let normal = lib.to_lef("lib180", 1);
+        let fat = lib.to_lef("lib180_fat", 2);
+        // The fat LEF declares a doubled pitch.
+        assert!(normal.contains("PITCH 0.660 ;"));
+        assert!(fat.contains("PITCH 1.320 ;"));
+        assert!(normal.contains("MACRO AOI32"));
+    }
+}
+
+/// Errors from the Liberty-like reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLibertyError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseLibertyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "liberty parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLibertyError {}
+
+impl Library {
+    /// Parses the Liberty-like dialect written by
+    /// [`Library::to_liberty`], reconstructing logic functions from the
+    /// boolean expressions and electrical data from the attributes.
+    /// Physical macros are regenerated with the default pin spread (the
+    /// LEF view carries geometry separately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLibertyError`] on malformed input.
+    pub fn from_liberty(text: &str) -> Result<Library, ParseLibertyError> {
+        use crate::cell::{CellFunction, LibCell};
+        use crate::lef::LefMacro;
+        use crate::tt::TruthTable;
+
+        let err = |line: usize, message: String| ParseLibertyError { line, message };
+        let mut cells = Vec::new();
+
+        // Collected per cell.
+        struct Draft {
+            name: String,
+            line: usize,
+            area: f64,
+            pin_caps: Vec<(char, f64)>,
+            function: Option<String>,
+            is_ff: bool,
+            is_wddl_ff: bool,
+            intrinsic: f64,
+            drive: f64,
+        }
+        let mut cur: Option<Draft> = None;
+        let mut cur_pin: Option<char> = None;
+
+        let attr = |rest: &str| -> Option<String> {
+            rest.split(':').nth(1).map(|v| {
+                v.trim()
+                    .trim_end_matches(';')
+                    .trim()
+                    .trim_matches('"')
+                    .to_string()
+            })
+        };
+
+        for (ln0, raw) in text.lines().enumerate() {
+            let ln = ln0 + 1;
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("cell (") {
+                let name = rest.split(')').next().unwrap_or("").trim();
+                cur = Some(Draft {
+                    name: name.to_string(),
+                    line: ln,
+                    area: 0.0,
+                    pin_caps: Vec::new(),
+                    function: None,
+                    is_ff: false,
+                    is_wddl_ff: false,
+                    intrinsic: 0.0,
+                    drive: 0.0,
+                });
+            } else if let Some(rest) = line.strip_prefix("pin (") {
+                let pin = rest.chars().next().unwrap_or('?');
+                cur_pin = Some(pin);
+            } else if line.starts_with("ff (") {
+                if let Some(d) = cur.as_mut() {
+                    d.is_ff = true;
+                }
+            } else if line.starts_with("ff_pair (") {
+                if let Some(d) = cur.as_mut() {
+                    d.is_wddl_ff = true;
+                }
+            } else if line.starts_with("area :") {
+                if let (Some(d), Some(v)) = (cur.as_mut(), attr(line)) {
+                    d.area = v.parse().map_err(|e| err(ln, format!("{e}")))?;
+                }
+            } else if line.starts_with("capacitance :") {
+                if let (Some(d), Some(p), Some(v)) = (cur.as_mut(), cur_pin, attr(line)) {
+                    d.pin_caps
+                        .push((p, v.parse().map_err(|e| err(ln, format!("{e}")))?));
+                }
+            } else if line.starts_with("function :") {
+                if let (Some(d), Some(v)) = (cur.as_mut(), attr(line)) {
+                    if v != "IQ" {
+                        d.function = Some(v);
+                    }
+                }
+            } else if line.starts_with("intrinsic_delay :") {
+                if let (Some(d), Some(v)) = (cur.as_mut(), attr(line)) {
+                    d.intrinsic = v.parse().map_err(|e| err(ln, format!("{e}")))?;
+                }
+            } else if line.starts_with("drive_resistance :") {
+                if let (Some(d), Some(v)) = (cur.as_mut(), attr(line)) {
+                    d.drive = v.parse().map_err(|e| err(ln, format!("{e}")))?;
+                }
+            } else if line == "}" {
+                // Close either a pin group or the cell group: a cell is
+                // finished when we see `}` at cell level; approximate by
+                // finishing when a new cell starts or at EOF. Track pin
+                // closing by clearing cur_pin first.
+                if cur_pin.is_some() {
+                    cur_pin = None;
+                } else if let Some(d) = cur.take() {
+                    cells.push(finish_cell(d).map_err(|m| err(ln, m))?);
+                }
+            }
+        }
+        if let Some(d) = cur.take() {
+            let line = d.line;
+            cells.push(finish_cell(d).map_err(|m| err(line, m))?);
+        }
+
+        fn finish_cell(d: Draft) -> Result<LibCell, String> {
+            let mut caps: Vec<(char, f64)> = d.pin_caps;
+            caps.sort_by_key(|&(p, _)| p);
+            let n = caps.len() as u8;
+            let pin_caps: Vec<f64> = caps.iter().map(|&(_, c)| c).collect();
+            // Reconstruct the width from the area.
+            let width = (d.area / (crate::lef::TRACK_UM * crate::lef::ROW_HEIGHT_UM))
+                .round()
+                .max(1.0) as u32;
+            let function = if d.is_wddl_ff {
+                CellFunction::WddlDff
+            } else if d.is_ff {
+                CellFunction::Dff
+            } else {
+                let expr = d.function.ok_or("combinational cell without function")?;
+                match expr.as_str() {
+                    "0" => CellFunction::Tie(false),
+                    "1" if n == 0 => CellFunction::Tie(true),
+                    _ => {
+                        let tt = parse_function(&expr, n)?;
+                        CellFunction::Comb(tt)
+                    }
+                }
+            };
+            let (n_in, n_out) = match function {
+                CellFunction::WddlDff => (2, 2),
+                _ => (pin_caps.len(), 1),
+            };
+            Ok(LibCell::new(
+                d.name,
+                function,
+                pin_caps,
+                d.drive.max(0.1),
+                d.intrinsic,
+                LefMacro::evenly_spread(width.max((n_in + n_out) as u32), n_in, n_out),
+            ))
+        }
+
+        /// Evaluates a sum-of-products expression over pins `A..H`.
+        fn parse_function(expr: &str, n: u8) -> Result<TruthTable, String> {
+            let terms: Vec<&str> = expr.split('+').map(str::trim).collect();
+            Ok(TruthTable::from_fn(n, |assignment| {
+                terms.iter().any(|term| {
+                    term.split('*').map(str::trim).all(|lit| {
+                        if lit == "1" {
+                            return true;
+                        }
+                        let (neg, pin) = match lit.strip_prefix('!') {
+                            Some(p) => (true, p.trim()),
+                            None => (false, lit),
+                        };
+                        let Some(c) = pin.chars().next() else {
+                            return false;
+                        };
+                        let idx = (c as u8).wrapping_sub(b'A');
+                        if idx >= n {
+                            return false;
+                        }
+                        (assignment >> idx & 1 == 1) != neg
+                    })
+                })
+            }))
+        }
+
+        Ok(Library::new(cells))
+    }
+}
+
+#[cfg(test)]
+mod liberty_roundtrip_tests {
+    use super::*;
+    use crate::cell::CellFunction;
+
+    #[test]
+    fn liberty_round_trips_functions_and_electricals() {
+        let lib = Library::lib180();
+        let text = lib.to_liberty("lib180");
+        let parsed = Library::from_liberty(&text).expect("parse back");
+        assert_eq!(parsed.cells().len(), lib.cells().len());
+        for cell in lib.cells() {
+            let p = parsed
+                .by_name(cell.name())
+                .unwrap_or_else(|| panic!("{} lost", cell.name()));
+            match (cell.function(), p.function()) {
+                (CellFunction::Comb(a), CellFunction::Comb(b)) => {
+                    assert_eq!(a, b, "{} function changed", cell.name());
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{} kind changed",
+                    cell.name()
+                ),
+            }
+            assert_eq!(p.input_count(), cell.input_count());
+            assert!((p.area_um2() - cell.area_um2()).abs() < 2.0 * crate::lef::TRACK_UM * crate::lef::ROW_HEIGHT_UM);
+            assert!((p.drive_kohm() - cell.drive_kohm()).abs() < 0.01);
+            assert!((p.intrinsic_delay_ps() - cell.intrinsic_delay_ps()).abs() < 0.1);
+            for i in 0..cell.input_count() {
+                assert!((p.pin_cap_ff(i) - cell.pin_cap_ff(i)).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_liberty_is_rejected() {
+        let bad = "cell (X) {\n  area : not_a_number;\n}\n";
+        assert!(Library::from_liberty(bad).is_err());
+    }
+}

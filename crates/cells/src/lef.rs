@@ -1,0 +1,109 @@
+//! Physical (LEF-like) cell data: geometry on the placement/routing
+//! grid.
+//!
+//! All horizontal dimensions are expressed in routing-track units; one
+//! track is [`TRACK_UM`] micrometres. Cells are one standard row tall
+//! ([`ROW_TRACKS`] tracks, [`ROW_HEIGHT_UM`] µm).
+
+/// Routing pitch in micrometres (both directions), 0.18 µm flavoured.
+pub const TRACK_UM: f64 = 0.66;
+
+/// Standard cell row height in tracks.
+pub const ROW_TRACKS: u32 = 8;
+
+/// Standard cell row height in micrometres.
+pub const ROW_HEIGHT_UM: f64 = ROW_TRACKS as f64 * TRACK_UM;
+
+/// Physical abstract of a cell: its footprint and pin access points,
+/// the information a placer and router need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LefMacro {
+    /// Cell width in routing tracks.
+    pub width_tracks: u32,
+    /// Horizontal pin positions (track offset from the cell origin),
+    /// one per input pin, in pin order.
+    pub input_pin_tracks: Vec<u32>,
+    /// Horizontal pin positions for output pins, in pin order.
+    pub output_pin_tracks: Vec<u32>,
+}
+
+impl LefMacro {
+    /// Builds a macro of `width_tracks` with `n_in` input pins and
+    /// `n_out` output pins spread evenly across the cell width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is too narrow to give every pin its own
+    /// track.
+    pub fn evenly_spread(width_tracks: u32, n_in: usize, n_out: usize) -> Self {
+        let total = n_in + n_out;
+        assert!(
+            total as u32 <= width_tracks,
+            "cell of width {width_tracks} cannot fit {total} pins"
+        );
+        // Distribute pins on distinct tracks: inputs from the left,
+        // outputs from the right.
+        let input_pin_tracks = (0..n_in as u32).collect();
+        let output_pin_tracks = (0..n_out as u32)
+            .map(|i| width_tracks - 1 - i)
+            .collect();
+        LefMacro {
+            width_tracks,
+            input_pin_tracks,
+            output_pin_tracks,
+        }
+    }
+
+    /// Cell area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.width_tracks as f64 * TRACK_UM * ROW_HEIGHT_UM
+    }
+
+    /// Widens the macro by a factor, keeping pins on distinct tracks.
+    /// Used to derive fat (double-pitch) macros.
+    pub fn scaled(&self, factor: u32) -> Self {
+        LefMacro {
+            width_tracks: self.width_tracks * factor,
+            input_pin_tracks: self.input_pin_tracks.iter().map(|&t| t * factor).collect(),
+            output_pin_tracks: self.output_pin_tracks.iter().map(|&t| t * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evenly_spread_pins_are_distinct() {
+        let m = LefMacro::evenly_spread(6, 3, 1);
+        let mut all = m.input_pin_tracks.clone();
+        all.extend(&m.output_pin_tracks);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|&t| t < 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn too_many_pins_panics() {
+        let _ = LefMacro::evenly_spread(2, 3, 1);
+    }
+
+    #[test]
+    fn area_scales_with_width() {
+        let m = LefMacro::evenly_spread(5, 2, 1);
+        let expected = 5.0 * TRACK_UM * ROW_HEIGHT_UM;
+        assert!((m.area_um2() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_doubles_geometry() {
+        let m = LefMacro::evenly_spread(4, 2, 1);
+        let f = m.scaled(2);
+        assert_eq!(f.width_tracks, 8);
+        assert_eq!(f.input_pin_tracks, vec![0, 2]);
+        assert_eq!(f.output_pin_tracks, vec![6]);
+    }
+}

@@ -1,0 +1,501 @@
+//! The cell library container and the default 180 nm-flavoured library.
+
+use std::collections::HashMap;
+
+use crate::cell::{CellFunction, LibCell};
+use crate::lef::LefMacro;
+use crate::tt::TruthTable;
+
+/// A technology-mapping match: a library cell realizing a requested
+/// truth table under an input permutation, possibly with an inverted
+/// output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchedCell {
+    /// Name of the matching cell.
+    pub cell: String,
+    /// `perm[i]` = which requested variable feeds cell input pin `i`.
+    pub perm: Vec<u8>,
+    /// `input_neg[i]` = cell input pin `i` must be fed through an
+    /// inverter.
+    pub input_neg: Vec<bool>,
+    /// True if the cell computes the complement of the requested
+    /// function (an inverter must be appended).
+    pub inverted: bool,
+    /// Cell area (including all required inverters) in µm².
+    pub area_um2: f64,
+}
+
+/// An immutable collection of [`LibCell`]s with name lookup and
+/// matching queries.
+#[derive(Debug, Clone)]
+pub struct Library {
+    cells: Vec<LibCell>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Library {
+    /// Builds a library from a cell list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate cell names.
+    pub fn new(cells: Vec<LibCell>) -> Self {
+        let mut by_name = HashMap::new();
+        for (i, c) in cells.iter().enumerate() {
+            assert!(
+                by_name.insert(c.name().to_string(), i).is_none(),
+                "duplicate cell `{}`",
+                c.name()
+            );
+        }
+        Library { cells, by_name }
+    }
+
+    /// Looks up a cell by name.
+    pub fn by_name(&self, name: &str) -> Option<&LibCell> {
+        self.by_name.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[LibCell] {
+        &self.cells
+    }
+
+    /// All combinational cells with their truth tables.
+    pub fn comb_cells(&self) -> impl Iterator<Item = (&LibCell, &TruthTable)> {
+        self.cells.iter().filter_map(|c| match c.function() {
+            CellFunction::Comb(tt) => Some((c, tt)),
+            _ => None,
+        })
+    }
+
+    /// Names of the sequential cells (for the Verilog reader).
+    pub fn seq_cell_names(&self) -> Vec<&str> {
+        self.cells
+            .iter()
+            .filter(|c| c.is_sequential())
+            .map(|c| c.name())
+            .collect()
+    }
+
+    /// Finds the minimum-area realization of `target` (a function whose
+    /// support uses variables `0..target.vars()`) as a library cell
+    /// under an input permutation, an input phase assignment (inverters
+    /// on selected pins) and an optional output inversion — NPN
+    /// matching with inverter cost included.
+    ///
+    /// `allowed` restricts candidates to the named cells — this is the
+    /// paper's synthesis `script` constraint mechanism (inverters for
+    /// phase assignment require `INV` to be allowed too).
+    pub fn find_match(
+        &self,
+        target: &TruthTable,
+        allowed: Option<&dyn Fn(&str) -> bool>,
+    ) -> Option<MatchedCell> {
+        let inv_allowed = allowed.is_none_or(|f| f("INV"));
+        let inv_area = self.by_name("INV").map(|c| c.area_um2());
+        let mut best: Option<MatchedCell> = None;
+        let mut consider = |cand: MatchedCell| {
+            if best.as_ref().is_none_or(|b| cand.area_um2 < b.area_um2) {
+                best = Some(cand);
+            }
+        };
+        let n = target.vars();
+        for (cell, tt) in self.comb_cells() {
+            if let Some(f) = allowed {
+                if !f(cell.name()) {
+                    continue;
+                }
+            }
+            if tt.vars() != n {
+                continue;
+            }
+            for perm in permutations(n) {
+                // Cell pin i is fed by target variable perm[i]; the
+                // realized function equals target iff
+                // cell_tt == target.permute(perm).phase(mask)
+                // (optionally complemented).
+                let permuted = target.permute(&perm);
+                for mask in 0..(1u32 << n) {
+                    let negs = mask.count_ones();
+                    if negs > 0 && (!inv_allowed || inv_area.is_none()) {
+                        continue;
+                    }
+                    let shifted = permuted.phase(mask);
+                    let (inverted, matches) = if shifted == *tt {
+                        (false, true)
+                    } else if shifted == tt.not() {
+                        (true, true)
+                    } else {
+                        (false, false)
+                    };
+                    if !matches || (inverted && (!inv_allowed || inv_area.is_none())) {
+                        continue;
+                    }
+                    let extra = negs + inverted as u32;
+                    let area = cell.area_um2() + f64::from(extra) * inv_area.unwrap_or(0.0);
+                    consider(MatchedCell {
+                        cell: cell.name().to_string(),
+                        perm: perm.clone(),
+                        input_neg: (0..n).map(|i| mask >> i & 1 == 1).collect(),
+                        inverted,
+                        area_um2: area,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Builds the default 0.18 µm / 1.8 V flavoured library used by the
+    /// reproduction: the usual static CMOS set (inverters, buffers,
+    /// NAND/NOR/AND/OR up to 4 inputs, XOR/XNOR, AOI/OAI compounds
+    /// including the paper's AOI32, a mux, a D flip-flop and tie
+    /// cells).
+    pub fn lib180() -> Self {
+        let mut cells = Vec::new();
+        let bit = |x: u32, i: u8| x >> i & 1 == 1;
+
+        let mut comb = |name: &str,
+                        n: u8,
+                        f: &dyn Fn(u32) -> bool,
+                        width: u32,
+                        cap: f64,
+                        drive: f64,
+                        d0: f64| {
+            let tt = TruthTable::from_fn(n, f);
+            // The drive/delay scaling keeps the paper's 125 MHz clock
+            // closed on the evaluation half-cycle of the WDDL designs.
+            cells.push(LibCell::new(
+                name,
+                CellFunction::Comb(tt),
+                vec![cap; n as usize],
+                drive * 0.45,
+                d0 * 0.55,
+                LefMacro::evenly_spread(width, n as usize, 1),
+            ));
+        };
+
+        comb("INV", 1, &|x| !bit(x, 0), 3, 2.2, 4.0, 25.0);
+        comb("BUF", 1, &|x| bit(x, 0), 4, 2.0, 3.0, 45.0);
+
+        comb("NAND2", 2, &|x| !(bit(x, 0) && bit(x, 1)), 4, 2.1, 3.8, 35.0);
+        comb(
+            "NAND3",
+            3,
+            &|x| !(bit(x, 0) && bit(x, 1) && bit(x, 2)),
+            5,
+            2.2,
+            4.2,
+            42.0,
+        );
+        comb(
+            "NAND4",
+            4,
+            &|x| !(0..4).all(|i| bit(x, i)),
+            6,
+            2.3,
+            4.6,
+            50.0,
+        );
+        comb("NOR2", 2, &|x| !(bit(x, 0) || bit(x, 1)), 4, 2.1, 4.2, 38.0);
+        comb(
+            "NOR3",
+            3,
+            &|x| !(bit(x, 0) || bit(x, 1) || bit(x, 2)),
+            5,
+            2.2,
+            4.6,
+            46.0,
+        );
+        comb(
+            "NOR4",
+            4,
+            &|x| !(0..4).any(|i| bit(x, i)),
+            6,
+            2.3,
+            5.0,
+            55.0,
+        );
+
+        comb("AND2", 2, &|x| bit(x, 0) && bit(x, 1), 5, 2.0, 4.0, 55.0);
+        comb(
+            "AND3",
+            3,
+            &|x| (0..3).all(|i| bit(x, i)),
+            6,
+            2.1,
+            4.2,
+            62.0,
+        );
+        comb(
+            "AND4",
+            4,
+            &|x| (0..4).all(|i| bit(x, i)),
+            7,
+            2.2,
+            4.5,
+            70.0,
+        );
+        comb("OR2", 2, &|x| bit(x, 0) || bit(x, 1), 5, 2.0, 4.2, 58.0);
+        comb("OR3", 3, &|x| (0..3).any(|i| bit(x, i)), 6, 2.1, 4.5, 66.0);
+        comb("OR4", 4, &|x| (0..4).any(|i| bit(x, i)), 7, 2.2, 4.8, 74.0);
+
+        comb(
+            "XOR2",
+            2,
+            &|x| bit(x, 0) ^ bit(x, 1),
+            7,
+            2.6,
+            4.5,
+            70.0,
+        );
+        comb(
+            "XNOR2",
+            2,
+            &|x| !(bit(x, 0) ^ bit(x, 1)),
+            7,
+            2.6,
+            4.5,
+            70.0,
+        );
+
+        comb(
+            "AOI21",
+            3,
+            &|x| !((bit(x, 0) && bit(x, 1)) || bit(x, 2)),
+            5,
+            2.2,
+            4.4,
+            45.0,
+        );
+        comb(
+            "AOI22",
+            4,
+            &|x| !((bit(x, 0) && bit(x, 1)) || (bit(x, 2) && bit(x, 3))),
+            6,
+            2.3,
+            4.6,
+            50.0,
+        );
+        comb(
+            "AOI32",
+            5,
+            &|x| !((bit(x, 0) && bit(x, 1) && bit(x, 2)) || (bit(x, 3) && bit(x, 4))),
+            7,
+            2.4,
+            4.8,
+            55.0,
+        );
+        comb(
+            "AOI33",
+            6,
+            &|x| {
+                !((bit(x, 0) && bit(x, 1) && bit(x, 2)) || (bit(x, 3) && bit(x, 4) && bit(x, 5)))
+            },
+            8,
+            2.5,
+            5.0,
+            60.0,
+        );
+        comb(
+            "OAI21",
+            3,
+            &|x| !((bit(x, 0) || bit(x, 1)) && bit(x, 2)),
+            5,
+            2.2,
+            4.4,
+            45.0,
+        );
+        comb(
+            "OAI22",
+            4,
+            &|x| !((bit(x, 0) || bit(x, 1)) && (bit(x, 2) || bit(x, 3))),
+            6,
+            2.3,
+            4.6,
+            50.0,
+        );
+        comb(
+            "OAI32",
+            5,
+            &|x| !((bit(x, 0) || bit(x, 1) || bit(x, 2)) && (bit(x, 3) || bit(x, 4))),
+            7,
+            2.4,
+            4.8,
+            55.0,
+        );
+        comb(
+            "OAI33",
+            6,
+            &|x| {
+                !((bit(x, 0) || bit(x, 1) || bit(x, 2)) && (bit(x, 3) || bit(x, 4) || bit(x, 5)))
+            },
+            8,
+            2.5,
+            5.0,
+            60.0,
+        );
+
+        // MUX2(a, b, s) = s ? b : a
+        comb(
+            "MUX2",
+            3,
+            &|x| if bit(x, 2) { bit(x, 1) } else { bit(x, 0) },
+            7,
+            2.4,
+            4.4,
+            65.0,
+        );
+
+        cells.push(LibCell::new(
+            "DFF",
+            CellFunction::Dff,
+            vec![2.8],
+            1.8,
+            70.0,
+            LefMacro::evenly_spread(12, 1, 1),
+        ));
+        cells.push(LibCell::new(
+            "TIELO",
+            CellFunction::Tie(false),
+            vec![],
+            8.0,
+            0.0,
+            LefMacro::evenly_spread(3, 0, 1),
+        ));
+        cells.push(LibCell::new(
+            "TIEHI",
+            CellFunction::Tie(true),
+            vec![],
+            8.0,
+            0.0,
+            LefMacro::evenly_spread(3, 0, 1),
+        ));
+
+        Library::new(cells)
+    }
+}
+
+/// All permutations of `0..n` (n ≤ 6), via Heap's algorithm.
+pub(crate) fn permutations(n: u8) -> Vec<Vec<u8>> {
+    let mut items: Vec<u8> = (0..n).collect();
+    let mut out = Vec::new();
+    fn heap(k: usize, items: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n as usize, &mut items, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib180_has_core_cells() {
+        let lib = Library::lib180();
+        for name in [
+            "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI32", "OAI32", "MUX2",
+            "DFF", "TIELO", "TIEHI",
+        ] {
+            assert!(lib.by_name(name).is_some(), "{name} missing");
+        }
+        assert!(lib.cells().len() >= 24);
+    }
+
+    #[test]
+    fn aoi32_matches_paper_function() {
+        let lib = Library::lib180();
+        let aoi32 = lib.by_name("AOI32").unwrap().truth_table().unwrap();
+        // Fig. 2: Y = NOT(A0·A1·A2 + B0·B1)
+        let expect = TruthTable::from_fn(5, |x| {
+            let a = x & 1 == 1 && x >> 1 & 1 == 1 && x >> 2 & 1 == 1;
+            let b = x >> 3 & 1 == 1 && x >> 4 & 1 == 1;
+            !(a || b)
+        });
+        assert_eq!(aoi32, &expect);
+    }
+
+    #[test]
+    fn seq_cells_listed() {
+        let lib = Library::lib180();
+        assert_eq!(lib.seq_cell_names(), vec!["DFF"]);
+    }
+
+    #[test]
+    fn find_match_exact() {
+        let lib = Library::lib180();
+        let m = lib.find_match(&TruthTable::and2(), None).unwrap();
+        assert_eq!(m.cell, "AND2");
+        assert!(!m.inverted);
+    }
+
+    #[test]
+    fn find_match_inverted() {
+        let lib = Library::lib180();
+        // NAND3's complement = AND3; but AND3 exists, so the direct
+        // match should win on equal/lower area only if cheaper. Request
+        // a function whose direct cell we exclude.
+        let and3 = lib.by_name("AND3").unwrap().truth_table().unwrap();
+        let allowed = |n: &str| n != "AND3";
+        let m = lib.find_match(and3, Some(&allowed)).unwrap();
+        assert!(m.inverted);
+        assert_eq!(m.cell, "NAND3");
+    }
+
+    #[test]
+    fn find_match_uses_permutation() {
+        let lib = Library::lib180();
+        // f(a, b, c) = ¬(c·b + a): AOI21 with permuted pins.
+        let f = TruthTable::from_fn(3, |x| {
+            let (a, b, c) = (x & 1 == 1, x >> 1 & 1 == 1, x >> 2 & 1 == 1);
+            !((c && b) || a)
+        });
+        let m = lib.find_match(&f, None).unwrap();
+        assert_eq!(m.cell, "AOI21");
+        // Verify the permutation actually reproduces f.
+        let cell_tt = lib.by_name("AOI21").unwrap().truth_table().unwrap();
+        assert_eq!(&f.permute(&m.perm), cell_tt);
+    }
+
+    #[test]
+    fn find_match_respects_allowlist() {
+        let lib = Library::lib180();
+        let allowed = |n: &str| n == "NOR2";
+        assert!(lib.find_match(&TruthTable::and2(), Some(&allowed)).is_none());
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(0).len(), 1);
+    }
+
+    #[test]
+    fn all_comb_cells_have_full_support() {
+        // Every library function must depend on all of its declared
+        // inputs — otherwise pin caps and matching are inconsistent.
+        let lib = Library::lib180();
+        for (cell, tt) in lib.comb_cells() {
+            assert_eq!(
+                tt.support().len(),
+                cell.input_count(),
+                "{} has dead inputs",
+                cell.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Sum-of-products covers (cube lists).
+
+use std::fmt;
+
+use crate::tt::TruthTable;
+
+/// A product term over up to 6 variables: a conjunction of positive and
+/// negative literals, stored as two bit masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    pos: u8,
+    neg: u8,
+}
+
+impl Cube {
+    /// The empty product (tautology: evaluates true everywhere).
+    pub fn tautology() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// Adds the positive literal `v` to the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube already contains `¬v` (the cube would be
+    /// unsatisfiable).
+    pub fn with_pos_literal(mut self, v: u8) -> Self {
+        assert!(self.neg >> v & 1 == 0, "contradictory cube");
+        self.pos |= 1 << v;
+        self
+    }
+
+    /// Adds the negative literal `¬v` to the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube already contains `v`.
+    pub fn with_neg_literal(mut self, v: u8) -> Self {
+        assert!(self.pos >> v & 1 == 0, "contradictory cube");
+        self.neg |= 1 << v;
+        self
+    }
+
+    /// Mask of variables appearing positively.
+    pub fn pos_mask(&self) -> u8 {
+        self.pos
+    }
+
+    /// Mask of variables appearing negatively.
+    pub fn neg_mask(&self) -> u8 {
+        self.neg
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(&self) -> u32 {
+        (self.pos.count_ones()) + (self.neg.count_ones())
+    }
+
+    /// Evaluates the cube on the input assignment.
+    pub fn eval(&self, input: u32) -> bool {
+        let input = input as u8;
+        input & self.pos == self.pos && !input & self.neg == self.neg
+    }
+
+    /// True if the cube has no negative literals.
+    pub fn is_positive(&self) -> bool {
+        self.neg == 0
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 && self.neg == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for v in 0..8u8 {
+            if self.pos >> v & 1 == 1 {
+                if !first {
+                    write!(f, "·")?;
+                }
+                write!(f, "x{v}")?;
+                first = false;
+            }
+            if self.neg >> v & 1 == 1 {
+                if !first {
+                    write!(f, "·")?;
+                }
+                write!(f, "¬x{v}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover: the disjunction of a list of [`Cube`]s over
+/// a fixed variable count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    n: u8,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Builds a cover over `n` variables from a cube list.
+    pub fn new(n: u8, cubes: Vec<Cube>) -> Self {
+        Sop { n, cubes }
+    }
+
+    /// Variable count.
+    pub fn vars(&self) -> u8 {
+        self.n
+    }
+
+    /// The cube list.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Evaluates the cover on an input assignment.
+    pub fn eval(&self, input: u32) -> bool {
+        self.cubes.iter().any(|c| c.eval(input))
+    }
+
+    /// Converts the cover back into a truth table over `n` variables.
+    pub fn to_truth_table(&self, n: u8) -> TruthTable {
+        TruthTable::from_fn(n, |a| self.eval(a))
+    }
+
+    /// Total literal count over all cubes (a proxy for gate cost).
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// True if every cube is free of negative literals — the property
+    /// WDDL requires of its dual-rail covers after literal remapping.
+    pub fn is_positive(&self) -> bool {
+        self.cubes.iter().all(Cube::is_positive)
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self.cubes.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", terms.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_eval() {
+        let c = Cube::tautology().with_pos_literal(0).with_neg_literal(2);
+        assert!(c.eval(0b001));
+        assert!(c.eval(0b011));
+        assert!(!c.eval(0b101));
+        assert!(!c.eval(0b000));
+        assert_eq!(c.literal_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn contradictory_cube_panics() {
+        let _ = Cube::tautology().with_pos_literal(1).with_neg_literal(1);
+    }
+
+    #[test]
+    fn sop_eval_and_display() {
+        // x0·x1 + ¬x2
+        let s = Sop::new(
+            3,
+            vec![
+                Cube::tautology().with_pos_literal(0).with_pos_literal(1),
+                Cube::tautology().with_neg_literal(2),
+            ],
+        );
+        assert!(s.eval(0b011));
+        assert!(s.eval(0b000));
+        assert!(!s.eval(0b100));
+        assert_eq!(s.literal_count(), 3);
+        let text = s.to_string();
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn positivity_check() {
+        let pos = Sop::new(2, vec![Cube::tautology().with_pos_literal(0)]);
+        let neg = Sop::new(2, vec![Cube::tautology().with_neg_literal(0)]);
+        assert!(pos.is_positive());
+        assert!(!neg.is_positive());
+    }
+
+    #[test]
+    fn empty_sop_is_false() {
+        let s = Sop::new(2, vec![]);
+        assert_eq!(s.to_truth_table(2), TruthTable::zero(2));
+        assert_eq!(s.to_string(), "0");
+    }
+}

@@ -1,0 +1,277 @@
+//! WDDL-specific verification: the precharge wave and dual-rail
+//! complementarity of the differential netlist.
+
+use std::fmt;
+
+use rand_free::SplitMix;
+use secflow_cells::{CellFunction, Library};
+use secflow_netlist::{GateKind, NetId, Netlist};
+
+use crate::substitute::Substitution;
+use crate::wddl::WDDL_REGISTER;
+
+/// A tiny deterministic PRNG so this module needs no external RNG
+/// dependency (the checks are exhaustive for small designs anyway).
+mod rand_free {
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Violations of the WDDL invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RailCheckError {
+    /// During precharge (all sources 0) some net stayed high.
+    PrechargeLeak {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// In the evaluation phase the two rails of a pair were not
+    /// complementary.
+    NotComplementary {
+        /// True-rail net name.
+        t: String,
+        /// False-rail net name.
+        f: String,
+    },
+    /// A differential output pair disagrees with the original
+    /// netlist's output.
+    OutputMismatch {
+        /// Index of the original primary output.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RailCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RailCheckError::PrechargeLeak { net } => {
+                write!(f, "net `{net}` stays high during precharge")
+            }
+            RailCheckError::NotComplementary { t, f: fr } => {
+                write!(f, "rails `{t}`/`{fr}` are not complementary")
+            }
+            RailCheckError::OutputMismatch { index } => {
+                write!(f, "differential output {index} disagrees with the original")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RailCheckError {}
+
+/// Zero-delay evaluation of a netlist's combinational portion with
+/// forced source values; tie outputs are forced to `tie_value`
+/// when given (the precharge check models constants as precharged).
+fn eval(
+    nl: &Netlist,
+    lib: &Library,
+    forced: &[(NetId, bool)],
+    tie_override: Option<bool>,
+) -> Vec<bool> {
+    let mut values = vec![false; nl.net_count()];
+    for &(n, v) in forced {
+        values[n.index()] = v;
+    }
+    let order = secflow_netlist::topo_order(nl).expect("acyclic netlist");
+    for gid in order {
+        let g = nl.gate(gid);
+        if g.kind == GateKind::Seq {
+            continue;
+        }
+        let cell = lib
+            .by_name(&g.cell)
+            .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell));
+        match cell.function() {
+            CellFunction::Comb(tt) => {
+                let mut idx = 0u32;
+                for (i, &inp) in g.inputs.iter().enumerate() {
+                    if values[inp.index()] {
+                        idx |= 1 << i;
+                    }
+                }
+                values[g.outputs[0].index()] = tt.eval(idx);
+            }
+            CellFunction::Tie(v) => {
+                values[g.outputs[0].index()] = tie_override.unwrap_or(*v);
+            }
+            CellFunction::Dff | CellFunction::WddlDff => {}
+        }
+    }
+    values
+}
+
+/// Verifies the pre-discharge wave: with every primary-input rail and
+/// register output at 0 (and constants treated as precharged), every
+/// net of the differential netlist must evaluate to 0 — the WDDL
+/// networks are positive-monotone, so the 0-wave traverses the whole
+/// combinational logic.
+///
+/// # Errors
+///
+/// Returns [`RailCheckError::PrechargeLeak`] naming the first net that
+/// stays high.
+pub fn verify_precharge_wave(sub: &Substitution) -> Result<(), RailCheckError> {
+    let nl = &sub.differential;
+    let values = eval(nl, &sub.diff_lib, &[], Some(false));
+    for id in nl.net_ids() {
+        if values[id.index()] {
+            return Err(RailCheckError::PrechargeLeak {
+                net: nl.net(id).name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies dual-rail complementarity and output correctness of the
+/// differential netlist against the original single-ended netlist on
+/// `rounds` random source assignments (sources: primary inputs and
+/// register values).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_rail_complementarity(
+    original: &Netlist,
+    base_lib: &Library,
+    sub: &Substitution,
+    rounds: usize,
+    seed: u64,
+) -> Result<(), RailCheckError> {
+    let diff = &sub.differential;
+    let mut rng = SplitMix(seed);
+
+    // Register correspondences: original DFFs in order vs WDDL
+    // registers in order.
+    let orig_regs: Vec<(NetId, NetId)> = original
+        .gates()
+        .iter()
+        .filter(|g| g.kind == GateKind::Seq)
+        .map(|g| (g.inputs[0], g.outputs[0]))
+        .collect();
+    let diff_regs: Vec<(NetId, NetId, NetId, NetId)> = diff
+        .gates()
+        .iter()
+        .filter(|g| g.cell == WDDL_REGISTER)
+        .map(|g| (g.inputs[0], g.inputs[1], g.outputs[0], g.outputs[1]))
+        .collect();
+    assert_eq!(orig_regs.len(), diff_regs.len(), "register count mismatch");
+
+    for _ in 0..rounds {
+        // Random source assignment.
+        let pi_vals: Vec<bool> = original.inputs().iter().map(|_| rng.next() & 1 == 1).collect();
+        let reg_vals: Vec<bool> = orig_regs.iter().map(|_| rng.next() & 1 == 1).collect();
+
+        let mut orig_forced: Vec<(NetId, bool)> = original
+            .inputs()
+            .iter()
+            .copied()
+            .zip(pi_vals.iter().copied())
+            .collect();
+        for ((_, q), &v) in orig_regs.iter().zip(&reg_vals) {
+            orig_forced.push((*q, v));
+        }
+        let orig_values = eval(original, base_lib, &orig_forced, None);
+
+        let mut diff_forced: Vec<(NetId, bool)> = Vec::new();
+        for (&(t, f), &v) in sub.input_pairs.iter().zip(&pi_vals) {
+            diff_forced.push((t, v));
+            diff_forced.push((f, !v));
+        }
+        for ((_, _, qt, qf), &v) in diff_regs.iter().zip(&reg_vals) {
+            diff_forced.push((*qt, v));
+            diff_forced.push((*qf, !v));
+        }
+        let diff_values = eval(diff, &sub.diff_lib, &diff_forced, None);
+
+        // Every rail pair complementary.
+        for p in &sub.pairs {
+            if diff_values[p.t.index()] == diff_values[p.f.index()] {
+                return Err(RailCheckError::NotComplementary {
+                    t: diff.net(p.t).name.clone(),
+                    f: diff.net(p.f).name.clone(),
+                });
+            }
+        }
+        // Output pairs reproduce the original outputs.
+        for (i, (&po, &(t, _))) in original
+            .outputs()
+            .iter()
+            .zip(&sub.output_pairs)
+            .enumerate()
+        {
+            if orig_values[po.index()] != diff_values[t.index()] {
+                return Err(RailCheckError::OutputMismatch { index: i });
+            }
+        }
+        // Register D pairs store the original D value.
+        for (i, ((d, _), (dt, _, _, _))) in orig_regs.iter().zip(&diff_regs).enumerate() {
+            if orig_values[d.index()] != diff_values[dt.index()] {
+                return Err(RailCheckError::OutputMismatch {
+                    index: original.outputs().len() + i,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substitute::substitute;
+    use secflow_cells::Library;
+
+    fn sample() -> (Netlist, Library) {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let na = nl.add_net("na");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        nl.add_gate("i0", "INV", GateKind::Comb, vec![a], vec![na]);
+        nl.add_gate("g0", "XOR2", GateKind::Comb, vec![na, b], vec![x]);
+        nl.add_gate("g1", "AOI21", GateKind::Comb, vec![x, c, q], vec![y]);
+        nl.add_gate("r0", "DFF", GateKind::Seq, vec![x], vec![q]);
+        nl.mark_output(y);
+        (nl, Library::lib180())
+    }
+
+    #[test]
+    fn precharge_wave_reaches_everything() {
+        let (nl, lib) = sample();
+        let sub = substitute(&nl, &lib).unwrap();
+        verify_precharge_wave(&sub).unwrap();
+    }
+
+    #[test]
+    fn rails_complementary_and_outputs_match() {
+        let (nl, lib) = sample();
+        let sub = substitute(&nl, &lib).unwrap();
+        verify_rail_complementarity(&nl, &lib, &sub, 64, 7).unwrap();
+    }
+
+    #[test]
+    fn sabotage_is_detected() {
+        let (nl, lib) = sample();
+        let mut sub = substitute(&nl, &lib).unwrap();
+        // Swap a pair's rails in the pair table: complementarity still
+        // holds, but output checks catch a swapped OUTPUT pair.
+        let o = sub.output_pairs[0];
+        sub.output_pairs[0] = (o.1, o.0);
+        assert!(matches!(
+            verify_rail_complementarity(&nl, &lib, &sub, 32, 3),
+            Err(RailCheckError::OutputMismatch { .. })
+        ));
+    }
+}

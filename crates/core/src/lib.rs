@@ -1,0 +1,58 @@
+//! The secure digital design flow of Tiri & Verbauwhede (DATE 2005):
+//! a few backend insertions that turn a regular synchronous standard
+//! cell flow into one producing DPA-resistant layouts.
+//!
+//! The two insertions (Fig. 1 of the paper) are implemented here:
+//!
+//! * [`substitute`] — **cell substitution**: transforms a mapped
+//!   single-ended netlist into (a) a *differential* WDDL netlist
+//!   (every gate replaced by its dual-rail compound of positive
+//!   AND/OR gates, inverters removed by swapping rails) and (b) a
+//!   *fat* netlist in which each differential pair is abstracted as a
+//!   single fat wire and each compound as a single fat cell, used for
+//!   place & route;
+//! * [`decompose`] — **interconnect decomposition**: edits the routed
+//!   fat design, duplicating and translating every fat wire by one
+//!   routing pitch and reducing the width, so the two rails of every
+//!   pair are parallel, same-layer, same-length wires with matched
+//!   parasitics.
+//!
+//! [`WddlLibrary`] derives the WDDL compound cells from any base
+//! standard cell library (the paper derives 128 cells from a 0.18 µm
+//! vendor library). [`run_regular_flow`] and [`run_secure_flow`]
+//! orchestrate the full paths of Fig. 1 — synthesis, substitution,
+//! floorplan, placement, (fat) routing, decomposition, extraction and
+//! equivalence verification — and produce comparable reports.
+//!
+//! # Example
+//!
+//! ```
+//! use secflow_cells::Library;
+//! use secflow_core::{run_secure_flow, FlowOptions};
+//! use secflow_synth::Design;
+//!
+//! let mut d = Design::new("toy");
+//! let a = d.input("a");
+//! let b = d.input("b");
+//! let y = d.aig.and(a, b);
+//! d.output("y", y);
+//! let lib = Library::lib180();
+//! let secure = run_secure_flow(&d, &lib, &FlowOptions::default())?;
+//! assert!(secure.report.die_area_um2 > 0.0);
+//! # Ok::<(), secflow_core::FlowError>(())
+//! ```
+
+mod checks;
+mod decompose;
+mod flow;
+mod substitute;
+mod wddl;
+
+pub use checks::{verify_precharge_wave, verify_rail_complementarity, RailCheckError};
+pub use decompose::{decompose, decompose_styled, DecomposeStyle};
+pub use flow::{
+    run_regular_backend, run_regular_flow, run_secure_backend, run_secure_flow, FlowError,
+    FlowOptions, FlowReport, RegularFlowResult, SecureFlowResult,
+};
+pub use substitute::{substitute, FatPair, Substitution, SubstituteError};
+pub use wddl::{WddlCompound, WddlLibrary, WDDL_DFFN_FAT, WDDL_DFF_FAT, WDDL_REGISTER};

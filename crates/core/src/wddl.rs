@@ -1,0 +1,484 @@
+//! Wave Dynamic Differential Logic compound-gate generation.
+//!
+//! A WDDL compound gate for a single-ended function `f` consists of
+//! two positive (AND/OR-only) networks:
+//!
+//! * the **true** network computes `f` with every negated literal
+//!   replaced by the corresponding *false* rail;
+//! * the **false** network computes `¬f` the same way.
+//!
+//! Both networks are monotone in the rail inputs, so the all-zero
+//! precharge state propagates as a 0-wave, and in the evaluation
+//! phase exactly one of the two outputs rises — one switching event
+//! per compound per cycle, the basis of the constant power signature.
+//!
+//! Covers are derived with the Minato–Morreale ISOP procedure from the
+//! cell's truth table, then realized as trees of the base library's
+//! `AND2..AND4` / `OR2..OR4` gates — exactly the "secure compound
+//! standard cells" built from an existing library that the paper
+//! describes (Fig. 2 shows the AOI32 instance).
+
+use std::collections::HashMap;
+
+use secflow_cells::{isop, CellFunction, LefMacro, LibCell, Library, Sop, TruthTable};
+
+/// Cell name of the dual-rail register in the differential netlist.
+pub const WDDL_REGISTER: &str = "WDDLDFF";
+
+/// Cell name of the register abstraction in the fat netlist.
+pub const WDDL_DFF_FAT: &str = "W_DFF";
+
+/// Cell name of the *inverting* register abstraction in the fat
+/// netlist, used when an absorbed inverter leaves the stored value
+/// complemented (physically: the differential register's input rails
+/// are swapped — no extra hardware).
+pub const WDDL_DFFN_FAT: &str = "W_DFFN";
+
+/// One input source of a primitive gate inside a compound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PrimSrc {
+    /// A rail of compound input `input`: the true rail when
+    /// `complement` is false, the false rail otherwise.
+    Rail {
+        /// Compound input index.
+        input: u8,
+        /// Use the false rail.
+        complement: bool,
+    },
+    /// The output of primitive gate `0..idx` within the same network.
+    Node(usize),
+}
+
+/// A primitive gate inside a compound network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PrimGate {
+    /// Base library cell name (`AND2..4`, `OR2..4`, `BUF`, `TIELO`,
+    /// `TIEHI`).
+    pub cell: String,
+    /// Input sources in pin order.
+    pub inputs: Vec<PrimSrc>,
+}
+
+/// One rail network of a compound: a list of primitive gates, the last
+/// of which drives the rail output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CoverNet {
+    pub gates: Vec<PrimGate>,
+}
+
+impl CoverNet {
+    /// Index of the output-driving gate.
+    pub fn out(&self) -> usize {
+        self.gates.len() - 1
+    }
+}
+
+/// Builds a balanced tree of `kind`2/3/4 gates over the sources.
+fn build_tree(kind: &str, mut srcs: Vec<PrimSrc>, gates: &mut Vec<PrimGate>) -> PrimSrc {
+    while srcs.len() > 1 {
+        let take = srcs.len().min(4);
+        let ins: Vec<PrimSrc> = srcs.drain(..take).collect();
+        gates.push(PrimGate {
+            cell: format!("{kind}{}", ins.len()),
+            inputs: ins,
+        });
+        srcs.push(PrimSrc::Node(gates.len() - 1));
+    }
+    srcs.pop().expect("tree over at least one source")
+}
+
+/// Realizes a positive cover as a network of AND/OR primitives whose
+/// last gate drives the output.
+fn build_cover(cover: &Sop) -> CoverNet {
+    let mut gates: Vec<PrimGate> = Vec::new();
+    if cover.cubes().is_empty() {
+        gates.push(PrimGate {
+            cell: "TIELO".into(),
+            inputs: vec![],
+        });
+        return CoverNet { gates };
+    }
+    if cover.cubes().iter().any(|c| c.literal_count() == 0) {
+        gates.push(PrimGate {
+            cell: "TIEHI".into(),
+            inputs: vec![],
+        });
+        return CoverNet { gates };
+    }
+    let mut cube_srcs = Vec::new();
+    for cube in cover.cubes() {
+        let mut lits = Vec::new();
+        for v in 0..8u8 {
+            if cube.pos_mask() >> v & 1 == 1 {
+                lits.push(PrimSrc::Rail {
+                    input: v,
+                    complement: false,
+                });
+            }
+            if cube.neg_mask() >> v & 1 == 1 {
+                lits.push(PrimSrc::Rail {
+                    input: v,
+                    complement: true,
+                });
+            }
+        }
+        cube_srcs.push(build_tree("AND", lits, &mut gates));
+    }
+    let out = build_tree("OR", cube_srcs, &mut gates);
+    // Guarantee the output is driven by a gate of this network (a
+    // single one-literal cube would otherwise be a bare rail).
+    match out {
+        PrimSrc::Node(i) if i == gates.len() - 1 => {}
+        src => gates.push(PrimGate {
+            cell: "BUF".into(),
+            inputs: vec![src],
+        }),
+    }
+    CoverNet { gates }
+}
+
+/// A WDDL compound standard cell derived for one single-ended
+/// function.
+#[derive(Debug, Clone)]
+pub struct WddlCompound {
+    /// Fat-netlist cell name (`W<vars>_<tt bits in hex>`).
+    pub fat_name: String,
+    /// The single-ended function the compound realizes.
+    pub tt: TruthTable,
+    /// Positive network of the true rail.
+    pub(crate) true_net: CoverNet,
+    /// Positive network of the false rail.
+    pub(crate) false_net: CoverNet,
+    /// Total width of all primitive gates, in routing tracks.
+    pub diff_width_tracks: u32,
+    /// Total cell area of the compound in µm².
+    pub diff_area_um2: f64,
+    /// Number of primitive gates in the compound.
+    pub primitive_count: usize,
+}
+
+/// The WDDL library: compounds derived on demand from a base standard
+/// cell library, plus the fat and differential library views used by
+/// place & route and simulation.
+#[derive(Debug, Clone)]
+pub struct WddlLibrary {
+    base: Library,
+    index: HashMap<(u8, u64), usize>,
+    compounds: Vec<WddlCompound>,
+}
+
+impl WddlLibrary {
+    /// Creates an empty WDDL library over `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base library lacks the primitive cells compounds
+    /// are built from (`AND2..4`, `OR2..4`, `BUF`, `TIELO`, `TIEHI`,
+    /// `DFF`).
+    pub fn new(base: &Library) -> Self {
+        for cell in [
+            "AND2", "AND3", "AND4", "OR2", "OR3", "OR4", "BUF", "TIELO", "TIEHI", "DFF",
+        ] {
+            assert!(
+                base.by_name(cell).is_some(),
+                "base library lacks `{cell}` needed for WDDL compounds"
+            );
+        }
+        WddlLibrary {
+            base: base.clone(),
+            index: HashMap::new(),
+            compounds: Vec::new(),
+        }
+    }
+
+    /// Number of compound cells derived so far.
+    pub fn len(&self) -> usize {
+        self.compounds.len()
+    }
+
+    /// True if no compound has been derived yet.
+    pub fn is_empty(&self) -> bool {
+        self.compounds.is_empty()
+    }
+
+    /// The compound at `idx`.
+    pub fn compound(&self, idx: usize) -> &WddlCompound {
+        &self.compounds[idx]
+    }
+
+    /// All derived compounds.
+    pub fn compounds(&self) -> &[WddlCompound] {
+        &self.compounds
+    }
+
+    /// Returns the compound realizing `tt`, deriving it if necessary.
+    pub fn compound_for(&mut self, tt: &TruthTable) -> usize {
+        let key = (tt.vars(), tt.bits());
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let true_net = build_cover(&isop(tt));
+        let false_net = build_cover(&isop(&tt.not()));
+        let mut width = 0u32;
+        let mut area = 0.0f64;
+        let mut count = 0usize;
+        for net in [&true_net, &false_net] {
+            for g in &net.gates {
+                let cell = self
+                    .base
+                    .by_name(&g.cell)
+                    .unwrap_or_else(|| panic!("missing primitive `{}`", g.cell));
+                width += cell.physical().width_tracks;
+                area += cell.area_um2();
+                count += 1;
+            }
+        }
+        let compound = WddlCompound {
+            fat_name: format!("W{}_{:X}", tt.vars(), tt.bits()),
+            tt: *tt,
+            true_net,
+            false_net,
+            diff_width_tracks: width,
+            diff_area_um2: area,
+            primitive_count: count,
+        };
+        self.compounds.push(compound);
+        self.index.insert(key, self.compounds.len() - 1);
+        self.compounds.len() - 1
+    }
+
+    /// Derives a compound for every combinational cell of the base
+    /// library — the paper's pre-assembled WDDL cell library (it
+    /// reports 128 cells for its vendor library). Returns the number
+    /// of compounds in the library afterwards.
+    pub fn derive_base_cells(&mut self) -> usize {
+        let tts: Vec<TruthTable> = self.base.comb_cells().map(|(_, tt)| *tt).collect();
+        for tt in tts {
+            self.compound_for(&tt);
+        }
+        self.len()
+    }
+
+    /// The fat-netlist library view: one single-output cell per
+    /// derived compound (function preserved for equivalence checking,
+    /// footprint in *fat grid units*, i.e. double-pitch tracks), plus
+    /// the fat register [`WDDL_DFF_FAT`].
+    pub fn fat_library(&self) -> Library {
+        let mut cells = Vec::new();
+        for c in &self.compounds {
+            let n = c.tt.vars() as usize;
+            // Fat unit = 2 tracks; every pin needs its own fat track.
+            let width = (c.diff_width_tracks.div_ceil(2)).max(n as u32 + 1);
+            cells.push(LibCell::new(
+                c.fat_name.clone(),
+                CellFunction::Comb(c.tt),
+                vec![2.5; n],
+                4.0,
+                40.0 + 25.0 * c.primitive_count as f64,
+                LefMacro::evenly_spread(width, n, 1),
+            ));
+        }
+        let dff_width = self
+            .base
+            .by_name("DFF")
+            .expect("DFF checked at construction")
+            .physical()
+            .width_tracks;
+        for name in [WDDL_DFF_FAT, WDDL_DFFN_FAT] {
+            cells.push(LibCell::new(
+                name,
+                CellFunction::Dff,
+                vec![2.8],
+                4.0,
+                120.0,
+                LefMacro::evenly_spread(dff_width, 1, 1),
+            ));
+        }
+        Library::new(cells)
+    }
+
+    /// The differential-netlist library view: the base library plus
+    /// the dual-rail register [`WDDL_REGISTER`].
+    pub fn diff_library(&self) -> Library {
+        let mut cells = self.base.cells().to_vec();
+        let dff_width = self
+            .base
+            .by_name("DFF")
+            .expect("DFF checked at construction")
+            .physical()
+            .width_tracks;
+        cells.push(LibCell::new(
+            WDDL_REGISTER,
+            CellFunction::WddlDff,
+            vec![2.8, 2.8],
+            1.8,
+            70.0,
+            LefMacro::evenly_spread(2 * dff_width, 2, 2),
+        ));
+        Library::new(cells)
+    }
+
+    /// The base library this WDDL library was derived from.
+    pub fn base(&self) -> &Library {
+        &self.base
+    }
+}
+
+/// Evaluates a cover network on a rail assignment (for tests and the
+/// substitution engine's own verification).
+#[cfg(test)]
+pub(crate) fn eval_cover(net: &CoverNet, rails_t: u32, rails_f: u32) -> bool {
+    let mut values = Vec::with_capacity(net.gates.len());
+    for g in &net.gates {
+        let read = |s: &PrimSrc, values: &[bool]| match *s {
+            PrimSrc::Rail { input, complement } => {
+                if complement {
+                    rails_f >> input & 1 == 1
+                } else {
+                    rails_t >> input & 1 == 1
+                }
+            }
+            PrimSrc::Node(i) => values[i],
+        };
+        let v = match g.cell.as_str() {
+            "TIELO" => false,
+            "TIEHI" => true,
+            "BUF" => read(&g.inputs[0], &values),
+            c if c.starts_with("AND") => g.inputs.iter().all(|s| read(s, &values)),
+            c if c.starts_with("OR") => g.inputs.iter().any(|s| read(s, &values)),
+            other => panic!("unexpected primitive `{other}`"),
+        };
+        values.push(v);
+    }
+    *values.last().expect("non-empty network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lib() -> WddlLibrary {
+        WddlLibrary::new(&Library::lib180())
+    }
+
+    #[test]
+    fn and2_compound_is_and_plus_or() {
+        let mut w = lib();
+        let i = w.compound_for(&TruthTable::and2());
+        let c = w.compound(i);
+        // True net: single AND2; false net: single OR2 (De Morgan).
+        assert_eq!(c.true_net.gates.len(), 1);
+        assert_eq!(c.true_net.gates[0].cell, "AND2");
+        assert_eq!(c.false_net.gates.len(), 1);
+        assert_eq!(c.false_net.gates[0].cell, "OR2");
+        assert_eq!(c.primitive_count, 2);
+    }
+
+    #[test]
+    fn aoi32_compound_matches_fig2() {
+        // Fig. 2: the WDDL AOI32 compound. True rail = ¬(abc + de)
+        // over rails; both networks positive.
+        let lib180 = Library::lib180();
+        let tt = *lib180.by_name("AOI32").unwrap().truth_table().unwrap();
+        let mut w = lib();
+        let i = w.compound_for(&tt);
+        let c = w.compound(i);
+        // Exhaustive functional check of both rails.
+        for v in 0..32u32 {
+            let rails_t = v;
+            let rails_f = !v & 31;
+            assert_eq!(eval_cover(&c.true_net, rails_t, rails_f), tt.eval(v));
+            assert_eq!(eval_cover(&c.false_net, rails_t, rails_f), !tt.eval(v));
+        }
+    }
+
+    #[test]
+    fn inverter_compound_is_rail_swap_with_buffers() {
+        let inv = TruthTable::from_fn(1, |x| x == 0);
+        let mut w = lib();
+        let i = w.compound_for(&inv);
+        let c = w.compound(i);
+        // True rail of ¬a = false rail of a, through a buffer.
+        assert_eq!(c.true_net.gates.len(), 1);
+        assert_eq!(c.true_net.gates[0].cell, "BUF");
+        assert_eq!(
+            c.true_net.gates[0].inputs[0],
+            PrimSrc::Rail { input: 0, complement: true }
+        );
+    }
+
+    #[test]
+    fn compound_reuse_is_cached() {
+        let mut w = lib();
+        let a = w.compound_for(&TruthTable::and2());
+        let b = w.compound_for(&TruthTable::and2());
+        assert_eq!(a, b);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn derive_base_cells_covers_library() {
+        let mut w = lib();
+        let n = w.derive_base_cells();
+        // One compound per distinct combinational function.
+        assert!(n >= 20, "only {n} compounds");
+        let fat = w.fat_library();
+        assert!(fat.by_name(WDDL_DFF_FAT).is_some());
+        assert!(fat.by_name(WDDL_DFFN_FAT).is_some());
+        assert_eq!(fat.cells().len(), n + 2);
+        let diff = w.diff_library();
+        assert!(diff.by_name(WDDL_REGISTER).is_some());
+    }
+
+    #[test]
+    fn compound_area_exceeds_single_ended() {
+        let lib180 = Library::lib180();
+        let mut w = lib();
+        for (cell, tt) in lib180.comb_cells() {
+            let i = w.compound_for(tt);
+            assert!(
+                w.compound(i).diff_area_um2 > cell.area_um2(),
+                "{} compound not larger",
+                cell.name()
+            );
+        }
+    }
+
+    proptest! {
+        /// Dual-rail correctness for arbitrary functions: with
+        /// complementary rails, the true net computes f and the false
+        /// net ¬f; with all-zero rails both nets are 0 (precharge).
+        #[test]
+        fn compound_is_correct_and_precharges(n in 1u8..=5, bits: u64) {
+            let tt = TruthTable::from_bits(n, bits);
+            prop_assume!(!tt.support().is_empty());
+            let mut w = lib();
+            let i = w.compound_for(&tt);
+            let c = w.compound(i);
+            let mask = (1u32 << n) - 1;
+            for v in 0..=mask {
+                prop_assert_eq!(eval_cover(&c.true_net, v, !v & mask), tt.eval(v));
+                prop_assert_eq!(eval_cover(&c.false_net, v, !v & mask), !tt.eval(v));
+            }
+            // Precharge: all rails zero -> both outputs zero.
+            prop_assert!(!eval_cover(&c.true_net, 0, 0) || tt == TruthTable::one(n));
+            prop_assert!(!eval_cover(&c.false_net, 0, 0) || tt == TruthTable::zero(n));
+        }
+
+        /// Exactly one rail rises in the evaluation phase.
+        #[test]
+        fn exactly_one_rail_active(n in 1u8..=4, bits: u64, v in 0u32..16) {
+            let tt = TruthTable::from_bits(n, bits);
+            prop_assume!(!tt.support().is_empty());
+            let v = v & ((1 << n) - 1);
+            let mut w = lib();
+            let i = w.compound_for(&tt);
+            let c = w.compound(i);
+            let mask = (1u32 << n) - 1;
+            let t = eval_cover(&c.true_net, v, !v & mask);
+            let f = eval_cover(&c.false_net, v, !v & mask);
+            prop_assert_ne!(t, f);
+        }
+    }
+}

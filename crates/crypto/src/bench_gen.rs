@@ -1,0 +1,97 @@
+//! Deterministic synthetic design generation for flow-runtime
+//! experiments.
+//!
+//! The paper reports the cell-substitution and interconnect-
+//! decomposition runtimes on a 39 K-gate prototype IC that we do not
+//! have; this generator produces register-rich random logic of a
+//! requested size so the same runtime experiment can be performed on
+//! comparable workloads.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use secflow_synth::{Design, Lit};
+
+/// Builds a deterministic pseudo-random synchronous design with
+/// approximately `target_ands` AIG AND nodes (the mapped gate count is
+/// of the same order).
+///
+/// The design has `width` primary inputs, `width` registers and
+/// `width` primary outputs and consists of random layered
+/// AND/OR/XOR/MUX logic feeding the registers — a reasonable stand-in
+/// for the mix of datapath and control in the paper's prototype IC.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn synthetic_design(name: &str, target_ands: usize, width: usize, seed: u64) -> Design {
+    assert!(width > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Design::new(name);
+    let ins = d.input_bus("in", width);
+    let regs = d.register_bus("r", width);
+
+    let mut pool: Vec<Lit> = ins.iter().chain(regs.iter()).copied().collect();
+    while d.aig.and_count() < target_ands {
+        let a = pool[rng.random_range(0..pool.len())];
+        let b = pool[rng.random_range(0..pool.len())];
+        let l = match rng.random_range(0..6u32) {
+            0 => d.aig.and(a, b),
+            1 => d.aig.or(a, b),
+            2 => d.aig.and(a, b.not()),
+            3 => d.aig.xor(a, b),
+            4 => {
+                let s = pool[rng.random_range(0..pool.len())];
+                d.aig.mux(s, a, b)
+            }
+            _ => d.aig.or(a.not(), b),
+        };
+        pool.push(l);
+        // Keep the pool focused on recent logic so depth grows.
+        if pool.len() > 4 * width {
+            pool.remove(rng.random_range(0..width));
+        }
+    }
+
+    // Feed registers and outputs from the tail of the pool.
+    let tail = &pool[pool.len().saturating_sub(2 * width)..];
+    for (i, &q) in regs.clone().iter().enumerate() {
+        let src = tail[i % tail.len()];
+        let folded = d.aig.xor(src, q);
+        d.set_next(q, folded);
+    }
+    for (i, &q) in regs.iter().enumerate() {
+        d.output(format!("out[{i}]"), q);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_close_to_target() {
+        let d = synthetic_design("s", 2000, 32, 7);
+        let n = d.aig.and_count();
+        assert!((2000..2200).contains(&n), "got {n}");
+        assert_eq!(d.inputs.len(), 32);
+        assert_eq!(d.registers.len(), 32);
+        assert_eq!(d.outputs.len(), 32);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_design("s", 500, 16, 42);
+        let b = synthetic_design("s", 500, 16, 42);
+        assert_eq!(a.aig.and_count(), b.aig.and_count());
+        assert_eq!(a.roots(), b.roots());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthetic_design("s", 500, 16, 1);
+        let b = synthetic_design("s", 500, 16, 2);
+        assert_ne!(a.roots(), b.roots());
+    }
+}

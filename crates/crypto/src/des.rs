@@ -1,0 +1,172 @@
+//! The DES S-boxes: reference tables and circuit builders.
+
+use secflow_synth::{Aig, Lit};
+
+/// The eight DES substitution boxes in standard row/column layout:
+/// `SBOXES[s][row][col]` with `row = b5·2 + b0` and `col = b4 b3 b2 b1`
+/// of the 6-bit input `b5 b4 b3 b2 b1 b0`.
+pub const SBOXES: [[[u8; 16]; 4]; 8] = [
+    [
+        [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+        [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+        [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+        [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+    ],
+    [
+        [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+        [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+        [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+        [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+    ],
+    [
+        [10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+        [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+        [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+        [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12],
+    ],
+    [
+        [7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+        [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+        [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+        [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14],
+    ],
+    [
+        [2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+        [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+        [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+        [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3],
+    ],
+    [
+        [12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+        [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+        [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+        [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13],
+    ],
+    [
+        [4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+        [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+        [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+        [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12],
+    ],
+    [
+        [13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+        [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+        [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+        [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11],
+    ],
+];
+
+/// Evaluates S-box `s` (0-based) on a 6-bit input `v = b5 b4 b3 b2 b1
+/// b0` using the standard DES convention: `row = b5 b0`, `col =
+/// b4 b3 b2 b1`. Returns the 4-bit substitution value.
+///
+/// # Panics
+///
+/// Panics if `s >= 8` or `v >= 64`.
+pub fn sbox(s: usize, v: u8) -> u8 {
+    assert!(s < 8 && v < 64);
+    let row = ((v >> 5 & 1) << 1 | (v & 1)) as usize;
+    let col = (v >> 1 & 0xF) as usize;
+    SBOXES[s][row][col]
+}
+
+/// Builds the combinational circuit of S-box `s` in an AIG as a
+/// sum of minterms per output bit (structural hashing shares common
+/// products). `inputs` are the 6 input bits, LSB first. Returns the 4
+/// output bits, LSB first.
+///
+/// # Panics
+///
+/// Panics if `s >= 8` or `inputs.len() != 6`.
+pub fn sbox_circuit(aig: &mut Aig, s: usize, inputs: &[Lit]) -> Vec<Lit> {
+    assert!(s < 8);
+    assert_eq!(inputs.len(), 6);
+    lut_circuit(aig, inputs, |v| sbox(s, v as u8) as u32, 4)
+}
+
+/// Builds a generic lookup-table circuit: `outputs[j]` is bit `j` of
+/// `table(v)` for the input assignment `v` over `inputs` (LSB first).
+pub fn lut_circuit(
+    aig: &mut Aig,
+    inputs: &[Lit],
+    table: impl Fn(u32) -> u32,
+    out_bits: usize,
+) -> Vec<Lit> {
+    let n = inputs.len();
+    assert!(n <= 16, "lookup tables over {n} inputs are unreasonable");
+    (0..out_bits)
+        .map(|j| {
+            let minterms: Vec<Lit> = (0..(1u32 << n))
+                .filter(|&v| table(v) >> j & 1 == 1)
+                .map(|v| {
+                    let lits = inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &l)| if v >> i & 1 == 1 { l } else { l.not() });
+                    aig.and_all(lits.collect::<Vec<_>>())
+                })
+                .collect();
+            aig.or_all(minterms)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_synth::Design;
+
+    #[test]
+    fn sbox_known_values() {
+        // S1(0) = row 0, col 0 = 14; S1(63) = row 3, col 15 = 13.
+        assert_eq!(sbox(0, 0), 14);
+        assert_eq!(sbox(0, 63), 13);
+        // S8(0) = 13.
+        assert_eq!(sbox(7, 0), 13);
+    }
+
+    #[test]
+    fn sbox_outputs_are_4bit_and_balanced() {
+        // Each DES S-box row is a permutation of 0..16, so every
+        // output value appears exactly 4 times per box.
+        for s in 0..8 {
+            let mut counts = [0u32; 16];
+            for v in 0..64 {
+                let out = sbox(s, v);
+                assert!(out < 16);
+                counts[out as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| c == 4), "S{} unbalanced", s + 1);
+        }
+    }
+
+    #[test]
+    fn sbox_circuit_matches_table() {
+        for s in [0usize, 4, 7] {
+            let mut d = Design::new("sbox");
+            let ins = d.input_bus("x", 6);
+            let outs = sbox_circuit(&mut d.aig, s, &ins);
+            d.output_bus("y", &outs);
+            for v in 0..64u64 {
+                let in_words: Vec<u64> = (0..6).map(|i| if v >> i & 1 == 1 { !0 } else { 0 }).collect();
+                let (o, _) = secflow_synth::simulate_comb(&d, &in_words, &[]);
+                let got = (0..4).fold(0u8, |acc, j| acc | (((o[j] & 1) as u8) << j));
+                assert_eq!(got, sbox(s, v as u8), "S{} at {v}", s + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_circuit_identity() {
+        let mut d = Design::new("id");
+        let ins = d.input_bus("x", 3);
+        let outs = lut_circuit(&mut d.aig, &ins, |v| v, 3);
+        d.output_bus("y", &outs);
+        for v in 0..8u64 {
+            let in_words: Vec<u64> = (0..3).map(|i| if v >> i & 1 == 1 { !0 } else { 0 }).collect();
+            let (o, _) = secflow_synth::simulate_comb(&d, &in_words, &[]);
+            let got = (0..3).fold(0u64, |acc, j| acc | ((o[j] & 1) << j));
+            assert_eq!(got, v);
+        }
+    }
+}

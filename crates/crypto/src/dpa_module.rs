@@ -1,0 +1,187 @@
+//! The paper's Fig. 4 test circuit and the DPA selection function.
+//!
+//! The circuit is the "sufficient subset of the DES algorithm on which
+//! a Differential Power Analysis can be mounted" of Tiri et al.
+//! (CHES'03), reproduced in Fig. 4 of the paper:
+//!
+//! * a 4-bit register `PL` and a 6-bit register `PR` capture the random
+//!   plaintext halves each cycle;
+//! * the 6-bit secret key `K` is XOR-ed with `PR` and fed through
+//!   S-box S1;
+//! * registers `CL = PL ⊕ S1(PR ⊕ K)` and `CR = PR` capture the
+//!   "ciphertext".
+//!
+//! The attacker observes the supply current and the ciphertext
+//! `(CL, CR)`; the selection function `D(K, C)` predicts one bit of
+//! `PL` from a key guess (the paper uses the 3rd bit).
+
+use secflow_synth::Design;
+
+use crate::des::{sbox, sbox_circuit};
+
+/// Bit of `PL` predicted by the paper's selection function ("the 3rd
+/// bit", 0-based index 2).
+pub const SELECTION_BIT: usize = 2;
+
+/// The secret key used in the paper's experiment (`K = 46`).
+pub const PAPER_KEY: u8 = 46;
+
+/// Builds the Fig. 4 circuit as a synthesizable [`Design`].
+///
+/// Ports: inputs `pl[3:0]`, `pr[5:0]`, `k[5:0]`; outputs `cl[3:0]`,
+/// `cr[5:0]`. Registers: `PL`, `PR`, `CL`, `CR`.
+pub fn des_dpa_design() -> Design {
+    let mut d = Design::new("des_dpa");
+    let pl_in = d.input_bus("pl", 4);
+    let pr_in = d.input_bus("pr", 6);
+    let k_in = d.input_bus("k", 6);
+
+    let pl_q = d.register_bus("PL", 4);
+    let pr_q = d.register_bus("PR", 6);
+    let cl_q = d.register_bus("CL", 4);
+    let cr_q = d.register_bus("CR", 6);
+
+    // PL <= pl, PR <= pr (plaintext capture stage).
+    d.set_next_bus(&pl_q, &pl_in);
+    d.set_next_bus(&pr_q, &pr_in);
+
+    // x = PR ^ K, s = S1(x), CL <= PL ^ s, CR <= PR.
+    let x: Vec<_> = pr_q
+        .iter()
+        .zip(&k_in)
+        .map(|(&q, &k)| d.aig.xor(q, k))
+        .collect();
+    let s = sbox_circuit(&mut d.aig, 0, &x);
+    let cl_next: Vec<_> = pl_q
+        .iter()
+        .zip(&s)
+        .map(|(&q, &sb)| d.aig.xor(q, sb))
+        .collect();
+    d.set_next_bus(&cl_q, &cl_next);
+    d.set_next_bus(&cr_q, &pr_q);
+
+    d.output_bus("cl", &cl_q);
+    d.output_bus("cr", &cr_q);
+    d
+}
+
+/// Software reference model of the Fig. 4 datapath: one "encryption"
+/// of plaintext halves `(pl, pr)` under key `k`.
+///
+/// Returns `(cl, cr)` where `cl = pl ⊕ S1(pr ⊕ k)` and `cr = pr`.
+///
+/// # Panics
+///
+/// Panics if `pl >= 16`, `pr >= 64` or `k >= 64`.
+pub fn encrypt(pl: u8, pr: u8, k: u8) -> (u8, u8) {
+    assert!(pl < 16 && pr < 64 && k < 64);
+    (pl ^ sbox(0, pr ^ k), pr)
+}
+
+/// The DPA selection function `D(K, C)`: predicts bit
+/// [`SELECTION_BIT`] of `PL` from the ciphertext `(cl, cr)` under key
+/// guess `k_guess`, by inverting the datapath:
+/// `PL = CL ⊕ S1(CR ⊕ K)`.
+pub fn selection(k_guess: u8, cl: u8, cr: u8) -> bool {
+    let pl = cl ^ sbox(0, cr ^ k_guess);
+    pl >> SELECTION_BIT & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_synth::{simulate_seq, SeqState};
+
+    #[test]
+    fn encrypt_is_involutive_on_pl() {
+        for k in [0u8, 46, 63] {
+            for pr in [0u8, 17, 63] {
+                for pl in [0u8, 5, 15] {
+                    let (cl, cr) = encrypt(pl, pr, k);
+                    // Recover pl with the correct key.
+                    let rec = cl ^ sbox(0, cr ^ k);
+                    assert_eq!(rec, pl);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_with_correct_key_matches_pl_bit() {
+        for pl in 0..16u8 {
+            for pr in (0..64u8).step_by(7) {
+                let (cl, cr) = encrypt(pl, pr, PAPER_KEY);
+                assert_eq!(
+                    selection(PAPER_KEY, cl, cr),
+                    pl >> SELECTION_BIT & 1 == 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_with_wrong_key_decorrelates() {
+        // A wrong key guess must disagree with the true PL bit on a
+        // substantial fraction of inputs (the basis of DPA).
+        let wrong = 13u8;
+        assert_ne!(wrong, PAPER_KEY);
+        let mut disagreements = 0u32;
+        let mut total = 0u32;
+        for pl in 0..16u8 {
+            for pr in 0..64u8 {
+                let (cl, cr) = encrypt(pl, pr, PAPER_KEY);
+                if selection(wrong, cl, cr) != (pl >> SELECTION_BIT & 1 == 1) {
+                    disagreements += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = f64::from(disagreements) / f64::from(total);
+        assert!(frac > 0.2 && frac < 0.8, "frac = {frac}");
+    }
+
+    #[test]
+    fn design_matches_software_model() {
+        let d = des_dpa_design();
+        let mut st = SeqState::reset(&d);
+        let k = PAPER_KEY;
+        let stimuli = [(3u8, 41u8), (15, 0), (0, 63), (9, 27)];
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for cycle in 0..stimuli.len() + 2 {
+            let (pl, pr) = if cycle < stimuli.len() {
+                stimuli[cycle]
+            } else {
+                (0, 0)
+            };
+            let mut ins = Vec::new();
+            for i in 0..4 {
+                ins.push(if pl >> i & 1 == 1 { !0u64 } else { 0 });
+            }
+            for i in 0..6 {
+                ins.push(if pr >> i & 1 == 1 { !0u64 } else { 0 });
+            }
+            for i in 0..6 {
+                ins.push(if k >> i & 1 == 1 { !0u64 } else { 0 });
+            }
+            let outs = simulate_seq(&d, &mut st, &ins);
+            // Ciphertext for stimulus t appears 2 cycles later.
+            if cycle >= 2 {
+                let cl = (0..4).fold(0u8, |a, i| a | (((outs[i] & 1) as u8) << i));
+                let cr = (0..6).fold(0u8, |a, i| a | (((outs[4 + i] & 1) as u8) << i));
+                got.push((cl, cr));
+                let (pl_t, pr_t) = stimuli[cycle - 2];
+                expected.push(encrypt(pl_t, pr_t, k));
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn design_port_counts() {
+        let d = des_dpa_design();
+        assert_eq!(d.inputs.len(), 16);
+        assert_eq!(d.outputs.len(), 10);
+        assert_eq!(d.registers.len(), 20);
+    }
+}

@@ -1,0 +1,24 @@
+//! Cryptographic circuits and workload generators for the secure
+//! design flow.
+//!
+//! Provides the designs the paper evaluates on:
+//!
+//! * [`des`] — the eight DES S-boxes, both as lookup tables (software
+//!   reference model) and as combinational circuit builders;
+//! * [`dpa_module`] — the paper's Fig. 4 test circuit: the reduced DES
+//!   module (S-box S1 plus the `PL`/`PR`/`CL`/`CR` registers) on which
+//!   the Differential Power Analysis is mounted, together with its
+//!   software model and the attack's selection function;
+//! * [`des_round`] — a full DES Feistel round (expansion, all eight
+//!   S-boxes, permutation P), the realistically sized datapath the
+//!   DPA module is extracted from;
+//! * [`aes`] — the AES S-box as a circuit, used for larger flow
+//!   exercises (the paper's prototype IC contains an AES core);
+//! * [`bench_gen`] — a deterministic synthetic design generator used to
+//!   reproduce the 39 K-gate flow-runtime experiment.
+
+pub mod aes;
+pub mod bench_gen;
+pub mod des;
+pub mod des_round;
+pub mod dpa_module;

@@ -1,0 +1,573 @@
+//! Parasitic extraction: per-net resistance, ground capacitance and
+//! same-layer coupling capacitance from routed geometry.
+//!
+//! This crate stands in for the layout extractor (Virtuoso) in the
+//! paper's flow. The models are deliberately simple but preserve what
+//! the security argument depends on:
+//!
+//! * wire R and C grow linearly with routed length,
+//! * **coupling capacitance between parallel same-layer wires decays
+//!   with track distance** — so two differential wires routed in
+//!   adjacent tracks see (a) essentially the same environment and (b)
+//!   mutual coupling that affects both rails symmetrically,
+//! * vias contribute fixed R and C.
+//!
+//! [`extract`] produces [`Parasitics`]; [`pair_mismatch`] computes the
+//! differential-pair capacitance mismatch report that quantifies how
+//! well the paper's fat-wire decomposition balances the two rails.
+//!
+//! # Example
+//!
+//! ```
+//! use secflow_extract::Technology;
+//!
+//! let tech = Technology::default();
+//! assert!(tech.c_ground_ff_per_track > 0.0);
+//! ```
+
+use std::collections::HashMap;
+
+use secflow_netlist::{NetId, Netlist};
+use secflow_pnr::{is_horizontal, RoutedDesign};
+
+/// Extraction technology constants. Units: Ω, fF, routing tracks
+/// (one track = [`secflow_cells::TRACK_UM`] µm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Wire resistance per track of length.
+    pub r_ohm_per_track: f64,
+    /// Wire capacitance to the substrate (area + fringe) per track.
+    pub c_ground_ff_per_track: f64,
+    /// Coupling capacitance per track of overlap between parallel
+    /// wires one track apart; falls off as `1/d` for distance `d`.
+    pub c_coupling_ff_per_track: f64,
+    /// Maximum coupling distance considered, in tracks.
+    pub coupling_range: i32,
+    /// Via resistance.
+    pub r_via_ohm: f64,
+    /// Via capacitance.
+    pub c_via_ff: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            r_ohm_per_track: 0.25,
+            c_ground_ff_per_track: 0.13,
+            c_coupling_ff_per_track: 0.09,
+            coupling_range: 3,
+            r_via_ohm: 2.0,
+            c_via_ff: 0.3,
+        }
+    }
+}
+
+impl Technology {
+    /// Coupling capacitance per track of overlap at `d` tracks of
+    /// separation (0 for `d` out of range).
+    pub fn coupling_at(&self, d: i32) -> f64 {
+        if d >= 1 && d <= self.coupling_range {
+            self.c_coupling_ff_per_track / f64::from(d)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Extracted parasitics of one net.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetParasitics {
+    /// Total wire + via resistance in Ω.
+    pub r_ohm: f64,
+    /// Capacitance to ground in fF (wire + vias; pin caps are added by
+    /// the simulator from the cell library).
+    pub c_ground_ff: f64,
+    /// Coupling capacitances to neighbouring nets: `(other, fF)`.
+    pub couplings: Vec<(NetId, f64)>,
+}
+
+impl NetParasitics {
+    /// Total capacitance seen by a switching driver: ground plus all
+    /// coupling capacitance (worst-case quiet neighbours).
+    pub fn total_cap_ff(&self) -> f64 {
+        self.c_ground_ff + self.couplings.iter().map(|&(_, c)| c).sum::<f64>()
+    }
+}
+
+/// Extracted parasitics for a whole design, indexed by [`NetId`].
+#[derive(Debug, Clone, Default)]
+pub struct Parasitics {
+    /// Per-net records (nets without routed geometry have zeroes).
+    pub nets: Vec<NetParasitics>,
+}
+
+impl Parasitics {
+    /// The record for `net`.
+    pub fn net(&self, net: NetId) -> &NetParasitics {
+        &self.nets[net.index()]
+    }
+
+    /// Total wire capacitance of the design in fF.
+    pub fn total_wire_cap_ff(&self) -> f64 {
+        self.nets.iter().map(|n| n.c_ground_ff).sum()
+    }
+}
+
+/// A straight wire span used for coupling detection:
+/// `(net, fixed coordinate, span start, span end)` per layer
+/// orientation.
+type Span = (NetId, i32, i32, i32);
+
+/// Extracts parasitics from a routed design.
+///
+/// Lengths are converted to physical tracks using the design's
+/// [`secflow_pnr::GridPitch`], so fat (double-pitch) designs extract
+/// with their true physical dimensions.
+pub fn extract(design: &RoutedDesign, nl: &Netlist, tech: &Technology) -> Parasitics {
+    let scale = f64::from(design.placed.pitch.tracks());
+    let mut nets = vec![NetParasitics::default(); nl.net_count()];
+
+    // R and ground C per net.
+    for rn in &design.nets {
+        let p = &mut nets[rn.net.index()];
+        for s in &rn.segments {
+            if s.is_via() {
+                p.r_ohm += tech.r_via_ohm;
+                p.c_ground_ff += tech.c_via_ff;
+            } else {
+                let len = f64::from(s.len()) * scale;
+                p.r_ohm += len * tech.r_ohm_per_track;
+                p.c_ground_ff += len * tech.c_ground_ff_per_track;
+            }
+        }
+    }
+
+    // Coupling: same-layer parallel overlap. Horizontal wires couple
+    // across y; vertical wires across x.
+    let mut spans_by_layer: HashMap<u8, Vec<Span>> = HashMap::new();
+    for rn in &design.nets {
+        for s in &rn.segments {
+            if s.is_via() {
+                continue;
+            }
+            let span = if is_horizontal(s.a.layer) {
+                let (x0, x1) = (s.a.x.min(s.b.x), s.a.x.max(s.b.x));
+                (rn.net, s.a.y, x0, x1)
+            } else {
+                let (y0, y1) = (s.a.y.min(s.b.y), s.a.y.max(s.b.y));
+                (rn.net, s.a.x, y0, y1)
+            };
+            spans_by_layer.entry(s.a.layer).or_default().push(span);
+        }
+    }
+    let mut pair_cap: HashMap<(NetId, NetId), f64> = HashMap::new();
+    for spans in spans_by_layer.values() {
+        couple_spans(spans, tech, scale, &mut pair_cap);
+    }
+    for ((a, b), c) in pair_cap {
+        nets[a.index()].couplings.push((b, c));
+        nets[b.index()].couplings.push((a, c));
+    }
+    for n in &mut nets {
+        n.couplings.sort_by_key(|&(id, _)| id);
+    }
+
+    Parasitics { nets }
+}
+
+/// Accumulates coupling between parallel spans on one orientation.
+fn couple_spans(
+    spans: &[Span],
+    tech: &Technology,
+    scale: f64,
+    pair_cap: &mut HashMap<(NetId, NetId), f64>,
+) {
+    // Bucket spans by their fixed coordinate.
+    let mut by_coord: HashMap<i32, Vec<&Span>> = HashMap::new();
+    for s in spans {
+        by_coord.entry(s.1).or_default().push(s);
+    }
+    for (&c0, list) in &by_coord {
+        for d in 1..=tech.coupling_range {
+            let Some(other) = by_coord.get(&(c0 + d)) else {
+                continue;
+            };
+            for &&(na, _, a0, a1) in list {
+                for &&(nb, _, b0, b1) in other {
+                    if na == nb {
+                        continue;
+                    }
+                    let overlap = a1.min(b1) - a0.max(b0);
+                    if overlap <= 0 {
+                        continue;
+                    }
+                    let cap = f64::from(overlap) * scale * tech.coupling_at(d);
+                    let key = if na < nb { (na, nb) } else { (nb, na) };
+                    *pair_cap.entry(key).or_insert(0.0) += cap;
+                }
+            }
+        }
+    }
+}
+
+/// Capacitance-mismatch report for one differential pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairMismatch {
+    /// True-rail net.
+    pub net_t: NetId,
+    /// False-rail net.
+    pub net_f: NetId,
+    /// Total cap of the true rail in fF.
+    pub cap_t_ff: f64,
+    /// Total cap of the false rail in fF.
+    pub cap_f_ff: f64,
+    /// Relative mismatch `|Ct − Cf| / ((Ct + Cf)/2)` (0 when both are
+    /// zero).
+    pub relative: f64,
+}
+
+/// Computes the capacitance mismatch of each differential pair — the
+/// quantity the paper's differential-pair routing minimizes. The
+/// mutual coupling between the two rails of a pair is excluded (it
+/// loads both rails identically by symmetry).
+pub fn pair_mismatch(parasitics: &Parasitics, pairs: &[(NetId, NetId)]) -> Vec<PairMismatch> {
+    pairs
+        .iter()
+        .map(|&(t, f)| {
+            let cap = |a: NetId, b: NetId| {
+                let p = parasitics.net(a);
+                p.c_ground_ff
+                    + p.couplings
+                        .iter()
+                        .filter(|&&(o, _)| o != b)
+                        .map(|&(_, c)| c)
+                        .sum::<f64>()
+            };
+            let ct = cap(t, f);
+            let cf = cap(f, t);
+            let mean = (ct + cf) / 2.0;
+            PairMismatch {
+                net_t: t,
+                net_f: f,
+                cap_t_ff: ct,
+                cap_f_ff: cf,
+                relative: if mean > 0.0 {
+                    (ct - cf).abs() / mean
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+    use secflow_pnr::{
+        GridPitch, PlacedCell, PlacedDesign, Point, RoutedNet, Segment, LAYER_H, LAYER_V,
+    };
+
+    fn netlist_with_nets(n: usize) -> Netlist {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        for i in 0..n {
+            let y = nl.add_net(format!("n{i}"));
+            nl.add_gate(format!("g{i}"), "BUF", GateKind::Comb, vec![a], vec![y]);
+        }
+        nl
+    }
+
+    fn design_with(nl: &Netlist, nets: Vec<RoutedNet>, pitch: GridPitch) -> RoutedDesign {
+        RoutedDesign {
+            placed: PlacedDesign {
+                name: "x".into(),
+                width: 100,
+                height: 100,
+                row_height: 8,
+                pitch,
+                cells: vec![PlacedCell { x: 0, row: 0 }; nl.gate_count()],
+                input_pads: vec![],
+                output_pads: vec![],
+            },
+            nets,
+        }
+    }
+
+    fn hseg(y: i32, x0: i32, x1: i32) -> Segment {
+        Segment::new(Point::new(LAYER_H, x0, y), Point::new(LAYER_H, x1, y))
+    }
+
+    #[test]
+    fn rc_scales_with_length() {
+        let nl = netlist_with_nets(2);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let n1 = nl.net_by_name("n1").unwrap();
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: n0, segments: vec![hseg(0, 0, 10)] },
+                RoutedNet { net: n1, segments: vec![hseg(20, 0, 30)] },
+            ],
+            GridPitch::Normal,
+        );
+        let tech = Technology::default();
+        let p = extract(&d, &nl, &tech);
+        let r0 = p.net(n0).r_ohm;
+        let r1 = p.net(n1).r_ohm;
+        assert!((r1 / r0 - 3.0).abs() < 1e-9);
+        assert!((p.net(n1).c_ground_ff / p.net(n0).c_ground_ff - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fat_pitch_doubles_length() {
+        let nl = netlist_with_nets(1);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let mk = |pitch| {
+            design_with(
+                &nl,
+                vec![RoutedNet { net: n0, segments: vec![hseg(0, 0, 10)] }],
+                pitch,
+            )
+        };
+        let tech = Technology::default();
+        let normal = extract(&mk(GridPitch::Normal), &nl, &tech);
+        let fat = extract(&mk(GridPitch::Fat), &nl, &tech);
+        assert!((fat.net(n0).r_ohm / normal.net(n0).r_ohm - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_wires_couple_with_overlap() {
+        let nl = netlist_with_nets(2);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let n1 = nl.net_by_name("n1").unwrap();
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: n0, segments: vec![hseg(5, 0, 20)] },
+                RoutedNet { net: n1, segments: vec![hseg(6, 10, 30)] },
+            ],
+            GridPitch::Normal,
+        );
+        let tech = Technology::default();
+        let p = extract(&d, &nl, &tech);
+        let c01 = p
+            .net(n0)
+            .couplings
+            .iter()
+            .find(|&&(o, _)| o == n1)
+            .map(|&(_, c)| c)
+            .unwrap();
+        // Overlap is x 10..20 = 10 tracks at distance 1.
+        assert!((c01 - 10.0 * tech.c_coupling_ff_per_track).abs() < 1e-9);
+        // Symmetric.
+        let c10 = p
+            .net(n1)
+            .couplings
+            .iter()
+            .find(|&&(o, _)| o == n0)
+            .map(|&(_, c)| c)
+            .unwrap();
+        assert!((c01 - c10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_decays_with_distance() {
+        let tech = Technology::default();
+        assert!(tech.coupling_at(1) > tech.coupling_at(2));
+        assert!(tech.coupling_at(2) > tech.coupling_at(3));
+        assert_eq!(tech.coupling_at(4), 0.0);
+        assert_eq!(tech.coupling_at(0), 0.0);
+    }
+
+    #[test]
+    fn vertical_wires_couple_too() {
+        let nl = netlist_with_nets(2);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let n1 = nl.net_by_name("n1").unwrap();
+        let vseg = |x: i32, y0: i32, y1: i32| {
+            Segment::new(Point::new(LAYER_V, x, y0), Point::new(LAYER_V, x, y1))
+        };
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: n0, segments: vec![vseg(5, 0, 8)] },
+                RoutedNet { net: n1, segments: vec![vseg(6, 0, 8)] },
+            ],
+            GridPitch::Normal,
+        );
+        let p = extract(&d, &nl, &Technology::default());
+        assert_eq!(p.net(n0).couplings.len(), 1);
+    }
+
+    #[test]
+    fn different_layers_do_not_couple() {
+        let nl = netlist_with_nets(2);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let n1 = nl.net_by_name("n1").unwrap();
+        let vseg = Segment::new(Point::new(LAYER_V, 5, 0), Point::new(LAYER_V, 5, 20));
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: n0, segments: vec![hseg(6, 0, 20)] },
+                RoutedNet { net: n1, segments: vec![vseg] },
+            ],
+            GridPitch::Normal,
+        );
+        let p = extract(&d, &nl, &Technology::default());
+        assert!(p.net(n0).couplings.is_empty());
+    }
+
+    #[test]
+    fn parallel_pair_has_zero_mismatch() {
+        // Two identical parallel wires, translated by one track — the
+        // decomposition result. Their caps must match exactly.
+        let nl = netlist_with_nets(2);
+        let t = nl.net_by_name("n0").unwrap();
+        let f = nl.net_by_name("n1").unwrap();
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: t, segments: vec![hseg(10, 0, 40)] },
+                RoutedNet { net: f, segments: vec![hseg(11, 1, 41)] },
+            ],
+            GridPitch::Normal,
+        );
+        let p = extract(&d, &nl, &Technology::default());
+        let reports = pair_mismatch(&p, &[(t, f)]);
+        assert!(reports[0].relative < 1e-9, "mismatch {}", reports[0].relative);
+    }
+
+    #[test]
+    fn diverging_pair_has_mismatch() {
+        let nl = netlist_with_nets(2);
+        let t = nl.net_by_name("n0").unwrap();
+        let f = nl.net_by_name("n1").unwrap();
+        let d = design_with(
+            &nl,
+            vec![
+                RoutedNet { net: t, segments: vec![hseg(10, 0, 40)] },
+                RoutedNet { net: f, segments: vec![hseg(50, 0, 25)] },
+            ],
+            GridPitch::Normal,
+        );
+        let p = extract(&d, &nl, &Technology::default());
+        let reports = pair_mismatch(&p, &[(t, f)]);
+        assert!(reports[0].relative > 0.3);
+    }
+
+    #[test]
+    fn total_cap_includes_couplings() {
+        let p = NetParasitics {
+            r_ohm: 1.0,
+            c_ground_ff: 2.0,
+            couplings: vec![(NetId(7), 0.5), (NetId(9), 0.25)],
+        };
+        assert!((p.total_cap_ff() - 2.75).abs() < 1e-12);
+    }
+}
+
+/// Writes the extracted design as a SPICE-like netlist: one subcircuit
+/// call per gate and an RC element pair per net — the "spice netlists,
+/// which include the layout parasitics" that the paper extracts in
+/// Virtuoso before simulation.
+///
+/// The text is for inspection and diffing; the workspace's simulator
+/// consumes [`Parasitics`] directly.
+pub fn write_spice(nl: &Netlist, parasitics: &Parasitics, title: &str) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "* {title} — extracted netlist with layout parasitics");
+    let _ = writeln!(s, ".GLOBAL VDD VSS");
+    for (i, g) in nl.gates().iter().enumerate() {
+        let pins: Vec<String> = g
+            .inputs
+            .iter()
+            .chain(g.outputs.iter())
+            .map(|&n| sanitize_node(&nl.net(n).name))
+            .collect();
+        let _ = writeln!(s, "X{i}_{} {} {}", sanitize_node(&g.name), pins.join(" "), g.cell);
+    }
+    let mut r_count = 0usize;
+    let mut c_count = 0usize;
+    for id in nl.net_ids() {
+        let p = parasitics.net(id);
+        if p.r_ohm == 0.0 && p.c_ground_ff == 0.0 && p.couplings.is_empty() {
+            continue;
+        }
+        let node = sanitize_node(&nl.net(id).name);
+        if p.r_ohm > 0.0 {
+            // Lumped wire resistance between the driver-side node and
+            // the loads-side node.
+            let _ = writeln!(s, "R{r_count} {node}_drv {node} {:.3}", p.r_ohm);
+            r_count += 1;
+        }
+        if p.c_ground_ff > 0.0 {
+            let _ = writeln!(s, "C{c_count} {node} VSS {:.3}f", p.c_ground_ff);
+            c_count += 1;
+        }
+        for &(other, cc) in &p.couplings {
+            // Emit each coupling once (low id side).
+            if id < other {
+                let _ = writeln!(
+                    s,
+                    "C{c_count} {node} {} {:.3}f",
+                    sanitize_node(&nl.net(other).name),
+                    cc
+                );
+                c_count += 1;
+            }
+        }
+    }
+    let _ = writeln!(s, ".END");
+    s
+}
+
+/// SPICE node names: conservative character set.
+fn sanitize_node(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod spice_tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+    use secflow_pnr::{GridPitch, PlacedCell, PlacedDesign, Point, RoutedNet, Segment, LAYER_H};
+
+    #[test]
+    fn spice_netlist_lists_gates_and_rc() {
+        let mut nl = Netlist::new("sp");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y[0]");
+        nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![y]);
+        nl.mark_output(y);
+        let design = secflow_pnr::RoutedDesign {
+            placed: PlacedDesign {
+                name: "sp".into(),
+                width: 30,
+                height: 16,
+                row_height: 8,
+                pitch: GridPitch::Normal,
+                cells: vec![PlacedCell { x: 0, row: 0 }],
+                input_pads: vec![],
+                output_pads: vec![],
+            },
+            nets: vec![RoutedNet {
+                net: y,
+                segments: vec![Segment::new(
+                    Point::new(LAYER_H, 0, 4),
+                    Point::new(LAYER_H, 10, 4),
+                )],
+            }],
+        };
+        let par = extract(&design, &nl, &Technology::default());
+        let text = write_spice(&nl, &par, "test");
+        assert!(text.contains("X0_g0 a y_0_ INV"));
+        assert!(text.contains("R0 y_0__drv y_0_"));
+        assert!(text.contains("VSS"));
+        assert!(text.trim_end().ends_with(".END"));
+    }
+}

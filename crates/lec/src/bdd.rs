@@ -1,0 +1,250 @@
+//! A small reduced ordered BDD package.
+
+use std::collections::HashMap;
+
+/// A node reference in a [`Bdd`]. `0` and `1` are the terminal FALSE
+/// and TRUE nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BddRef(pub u32);
+
+impl BddRef {
+    /// The FALSE terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The TRUE terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// True if this is a terminal node.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A reduced ordered BDD manager with a fixed variable order
+/// (variable 0 at the top).
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+}
+
+impl Bdd {
+    /// Creates a manager containing only the terminals.
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node { var: u32::MAX, lo: BddRef::FALSE, hi: BddRef::FALSE },
+                Node { var: u32::MAX, lo: BddRef::TRUE, hi: BddRef::TRUE },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live nodes (including terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = BddRef(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn var_of(&self, r: BddRef) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    fn cofactors(&self, r: BddRef, v: u32) -> (BddRef, BddRef) {
+        let n = self.nodes[r.0 as usize];
+        if n.var == v {
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// The function of a single variable.
+    pub fn var(&mut self, v: u32) -> BddRef {
+        self.mk(v, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// If-then-else: `f·g + ¬f·h` — the universal connective.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // Terminal cases.
+        if f == BddRef::TRUE {
+            return g;
+        }
+        if f == BddRef::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BddRef::TRUE && h == BddRef::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical AND.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, b, BddRef::FALSE)
+    }
+
+    /// Logical OR.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.ite(a, BddRef::TRUE, b)
+    }
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: BddRef) -> BddRef {
+        self.ite(a, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Logical XOR.
+    pub fn xor(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Evaluates the function under an assignment (`assignment[v]` =
+    /// value of variable `v`).
+    pub fn eval(&self, mut r: BddRef, assignment: &[bool]) -> bool {
+        while !r.is_terminal() {
+            let n = self.nodes[r.0 as usize];
+            r = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        r == BddRef::TRUE
+    }
+
+    /// Finds one satisfying assignment over `n_vars` variables, if the
+    /// function is satisfiable.
+    pub fn any_sat(&self, r: BddRef, n_vars: usize) -> Option<Vec<bool>> {
+        if r == BddRef::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; n_vars];
+        let mut cur = r;
+        while !cur.is_terminal() {
+            let n = self.nodes[cur.0 as usize];
+            if n.lo != BddRef::FALSE {
+                assignment[n.var as usize] = false;
+                cur = n.lo;
+            } else {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        assert!(b.eval(x, &[true]));
+        assert!(!b.eval(x, &[false]));
+        assert!(b.eval(BddRef::TRUE, &[]));
+        assert!(!b.eval(BddRef::FALSE, &[]));
+    }
+
+    #[test]
+    fn hashing_is_canonical() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let a1 = b.and(x, y);
+        let a2 = b.and(y, x);
+        assert_eq!(a1, a2);
+        // (x·y) + ¬(x·y)·x == x
+        let na = b.not(a1);
+        let t = b.and(na, x);
+        let u = b.or(a1, t);
+        assert_eq!(u, x);
+    }
+
+    #[test]
+    fn xor_and_demorgan() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let l = b.xor(x, y);
+        for (vx, vy) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(b.eval(l, &[vx, vy]), vx ^ vy);
+        }
+        let and = b.and(x, y);
+        let nand = b.not(and);
+        let nx = b.not(x);
+        let ny = b.not(y);
+        let or = b.or(nx, ny);
+        assert_eq!(nand, or);
+    }
+
+    #[test]
+    fn any_sat_finds_assignment() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let nx = b.not(x);
+        let f = b.and(nx, y);
+        let sat = b.any_sat(f, 2).unwrap();
+        assert_eq!(sat, vec![false, true]);
+        let zero = b.and(f, x);
+        assert_eq!(zero, BddRef::FALSE);
+        assert!(b.any_sat(zero, 2).is_none());
+    }
+
+    #[test]
+    fn ordered_structure_shares_nodes() {
+        // Building the same 8-var conjunction twice must not grow the
+        // manager the second time.
+        let mut b = Bdd::new();
+        let vars: Vec<BddRef> = (0..8).map(|i| b.var(i)).collect();
+        let mut f = BddRef::TRUE;
+        for &v in &vars {
+            f = b.and(f, v);
+        }
+        let before = b.node_count();
+        let mut g = BddRef::TRUE;
+        for &v in vars.iter().rev() {
+            g = b.and(g, v);
+        }
+        assert_eq!(f, g);
+        assert_eq!(b.node_count(), before);
+    }
+}

@@ -1,0 +1,227 @@
+//! Graph algorithms over the combinational structure of a netlist.
+//!
+//! Sequential gates ([`GateKind::Seq`]) break paths: their outputs are
+//! treated as sources (like primary inputs) and their inputs as sinks
+//! (like primary outputs), so the combinational portion forms a DAG in
+//! any legal synchronous design.
+
+use crate::netlist::{GateId, GateKind, Netlist};
+
+/// Returns the gates in a topological order of the combinational
+/// graph: every combinational gate appears after all combinational
+/// gates driving its inputs. Sequential and tie gates appear first (they
+/// are sources).
+///
+/// Returns `None` if the combinational portion contains a cycle; use
+/// [`find_combinational_cycle`] to locate it.
+pub fn topo_order(nl: &Netlist) -> Option<Vec<GateId>> {
+    let n = nl.gate_count();
+    // In-degree counts only combinational predecessor gates.
+    let mut indeg = vec![0usize; n];
+    for gid in nl.gate_ids() {
+        let g = nl.gate(gid);
+        if g.kind != GateKind::Comb {
+            continue;
+        }
+        for &inp in &g.inputs {
+            if let Some(d) = nl.net(inp).driver {
+                if nl.gate(d.gate).kind == GateKind::Comb {
+                    indeg[gid.index()] += 1;
+                }
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<GateId> = Vec::new();
+    // Sources first: seq/tie gates, then zero-indegree comb gates.
+    for gid in nl.gate_ids() {
+        if nl.gate(gid).kind != GateKind::Comb {
+            order.push(gid);
+        } else if indeg[gid.index()] == 0 {
+            queue.push(gid);
+        }
+    }
+    let mut seen_comb = 0usize;
+    while let Some(gid) = queue.pop() {
+        order.push(gid);
+        seen_comb += 1;
+        for &out in &nl.gate(gid).outputs {
+            for sink in &nl.net(out).sinks {
+                let sg = sink.gate;
+                if nl.gate(sg).kind == GateKind::Comb {
+                    indeg[sg.index()] -= 1;
+                    if indeg[sg.index()] == 0 {
+                        queue.push(sg);
+                    }
+                }
+            }
+        }
+    }
+    let comb_total = nl
+        .gates()
+        .iter()
+        .filter(|g| g.kind == GateKind::Comb)
+        .count();
+    if seen_comb == comb_total {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Finds one gate on a combinational cycle, if any exists.
+pub fn find_combinational_cycle(nl: &Netlist) -> Option<GateId> {
+    // DFS with colors over combinational gates only.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; nl.gate_count()];
+    for start in nl.gate_ids() {
+        if nl.gate(start).kind != GateKind::Comb || color[start.index()] != Color::White {
+            continue;
+        }
+        // Iterative DFS: stack of (gate, next-successor-index).
+        let mut stack: Vec<(GateId, usize, usize)> = vec![(start, 0, 0)];
+        color[start.index()] = Color::Gray;
+        'dfs: while let Some(&mut (g, ref mut oi, ref mut si)) = stack.last_mut() {
+            let gate = nl.gate(g);
+            while *oi < gate.outputs.len() {
+                let net = nl.net(gate.outputs[*oi]);
+                while *si < net.sinks.len() {
+                    let succ = net.sinks[*si].gate;
+                    *si += 1;
+                    if nl.gate(succ).kind != GateKind::Comb {
+                        continue;
+                    }
+                    match color[succ.index()] {
+                        Color::Gray => return Some(succ),
+                        Color::White => {
+                            color[succ.index()] = Color::Gray;
+                            stack.push((succ, 0, 0));
+                            continue 'dfs;
+                        }
+                        Color::Black => {}
+                    }
+                }
+                *oi += 1;
+                *si = 0;
+            }
+            color[g.index()] = Color::Black;
+            stack.pop();
+        }
+    }
+    None
+}
+
+/// Assigns each net a combinational level: primary inputs, tie outputs
+/// and sequential outputs are level 0; every other net is
+/// `1 + max(level of driving gate's inputs)`.
+///
+/// Returns `None` if the netlist has a combinational cycle.
+pub fn combinational_levels(nl: &Netlist) -> Option<Vec<u32>> {
+    let order = topo_order(nl)?;
+    let mut level = vec![0u32; nl.net_count()];
+    for gid in order {
+        let g = nl.gate(gid);
+        if g.kind != GateKind::Comb {
+            continue;
+        }
+        let lmax = g
+            .inputs
+            .iter()
+            .map(|&i| level[i.index()])
+            .max()
+            .unwrap_or(0);
+        for &o in &g.outputs {
+            level[o.index()] = lmax + 1;
+        }
+    }
+    Some(level)
+}
+
+/// Returns, for each net, the number of gate input pins it drives.
+pub fn fanout_map(nl: &Netlist) -> Vec<usize> {
+    nl.net_ids()
+        .map(|n| nl.net(n).sinks.len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{GateKind, Netlist};
+
+    /// a -> g0 -> x -> g1 -> y (chain) plus DFF breaking a feedback arc.
+    fn chain() -> Netlist {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "BUF", GateKind::Comb, vec![a], vec![x]);
+        nl.add_gate("g1", "BUF", GateKind::Comb, vec![x], vec![y]);
+        nl.mark_output(y);
+        nl
+    }
+
+    #[test]
+    fn topo_respects_dependencies() {
+        let nl = chain();
+        let order = topo_order(&nl).unwrap();
+        let pos: Vec<usize> = nl
+            .gate_ids()
+            .map(|g| order.iter().position(|&o| o == g).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1]);
+    }
+
+    #[test]
+    fn levels_increase_along_chain() {
+        let nl = chain();
+        let lv = combinational_levels(&nl).unwrap();
+        let a = nl.net_by_name("a").unwrap();
+        let x = nl.net_by_name("x").unwrap();
+        let y = nl.net_by_name("y").unwrap();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[x.index()], 1);
+        assert_eq!(lv[y.index()], 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut nl = Netlist::new("loop");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "BUF", GateKind::Comb, vec![y], vec![x]);
+        nl.add_gate("g1", "BUF", GateKind::Comb, vec![x], vec![y]);
+        assert!(topo_order(&nl).is_none());
+        assert!(find_combinational_cycle(&nl).is_some());
+        assert!(combinational_levels(&nl).is_none());
+    }
+
+    #[test]
+    fn seq_gate_breaks_cycle() {
+        let mut nl = Netlist::new("reg_loop");
+        let x = nl.add_net("x");
+        let q = nl.add_net("q");
+        nl.add_gate("inv", "INV", GateKind::Comb, vec![q], vec![x]);
+        nl.add_gate("ff", "DFF", GateKind::Seq, vec![x], vec![q]);
+        assert!(topo_order(&nl).is_some());
+        assert!(find_combinational_cycle(&nl).is_none());
+    }
+
+    #[test]
+    fn fanout_counts_sinks() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "BUF", GateKind::Comb, vec![a], vec![x]);
+        nl.add_gate("g1", "BUF", GateKind::Comb, vec![a], vec![y]);
+        let f = fanout_map(&nl);
+        assert_eq!(f[a.index()], 2);
+        assert_eq!(f[x.index()], 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Summary statistics for reporting.
+
+use std::fmt;
+
+use crate::graph::combinational_levels;
+use crate::netlist::{GateKind, Netlist};
+
+/// Summary statistics of a netlist, used in flow reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total gate instances.
+    pub gates: usize,
+    /// Combinational gate instances.
+    pub comb_gates: usize,
+    /// Sequential gate instances.
+    pub seq_gates: usize,
+    /// Total nets.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Maximum combinational depth in gate levels (0 if cyclic).
+    pub depth: u32,
+    /// Total gate input pins (an estimate of wiring demand).
+    pub pins: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let depth = combinational_levels(nl)
+            .map(|lv| lv.into_iter().max().unwrap_or(0))
+            .unwrap_or(0);
+        NetlistStats {
+            gates: nl.gate_count(),
+            comb_gates: nl
+                .gates()
+                .iter()
+                .filter(|g| g.kind == GateKind::Comb)
+                .count(),
+            seq_gates: nl
+                .gates()
+                .iter()
+                .filter(|g| g.kind == GateKind::Seq)
+                .count(),
+            nets: nl.net_count(),
+            inputs: nl.inputs().len(),
+            outputs: nl.outputs().len(),
+            depth,
+            pins: nl.gates().iter().map(|g| g.inputs.len()).sum(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates ({} comb, {} seq), {} nets, {} PI, {} PO, depth {}, {} pins",
+            self.gates,
+            self.comb_gates,
+            self.seq_gates,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.depth,
+            self.pins
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{GateKind, Netlist};
+
+    #[test]
+    fn stats_of_small_netlist() {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_input("a");
+        let x = nl.add_net("x");
+        let q = nl.add_net("q");
+        nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![x]);
+        nl.add_gate("ff", "DFF", GateKind::Seq, vec![x], vec![q]);
+        nl.mark_output(q);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.comb_gates, 1);
+        assert_eq!(s.seq_gates, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.pins, 2);
+        let text = s.to_string();
+        assert!(text.contains("2 gates"));
+    }
+}

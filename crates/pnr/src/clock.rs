@@ -1,0 +1,338 @@
+//! Clock tree synthesis: a recursive-bipartition (H-tree-style)
+//! buffered clock distribution over the placed registers, with an
+//! Elmore-style insertion-delay and skew report.
+//!
+//! The paper's flow notes that "information from the original library
+//! files is used in procedures such as clock routing"; this module
+//! provides that stage for both the regular design (one clock pin per
+//! DFF) and the fat/WDDL design (the register pair presents twice the
+//! clock load — WDDL's advantage over clocked dynamic styles like SABL
+//! is precisely that only the registers load the clock).
+
+use secflow_cells::Library;
+use secflow_netlist::{GateId, GateKind, Netlist};
+
+use crate::design::PlacedDesign;
+
+/// Clock-tree construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClockOptions {
+    /// Maximum sinks (or child buffers) driven by one buffer.
+    pub max_fanout: usize,
+    /// Clock-pin capacitance per sequential cell, fF.
+    pub sink_cap_ff: f64,
+    /// Buffer input capacitance, fF.
+    pub buffer_cap_ff: f64,
+    /// Buffer drive resistance, kΩ.
+    pub buffer_drive_kohm: f64,
+    /// Buffer intrinsic delay, ps.
+    pub buffer_delay_ps: f64,
+    /// Clock wire capacitance per track, fF.
+    pub wire_cap_ff_per_track: f64,
+}
+
+impl Default for ClockOptions {
+    fn default() -> Self {
+        ClockOptions {
+            max_fanout: 4,
+            sink_cap_ff: 2.8,
+            buffer_cap_ff: 2.0,
+            buffer_drive_kohm: 1.2,
+            buffer_delay_ps: 35.0,
+            wire_cap_ff_per_track: 0.13,
+        }
+    }
+}
+
+/// A clock sink: one sequential cell's clock pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSink {
+    /// The sequential gate.
+    pub gate: GateId,
+    /// Pin x in grid units.
+    pub x: i32,
+    /// Pin y in grid units.
+    pub y: i32,
+}
+
+/// One buffer of the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockBuffer {
+    /// Buffer location (centroid of its subtree), grid units.
+    pub x: i32,
+    /// Buffer location y.
+    pub y: i32,
+    /// Children driven by this buffer.
+    pub children: Vec<ClockNode>,
+}
+
+/// A child of a clock buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockNode {
+    /// Index into [`ClockTree::buffers`].
+    Buffer(usize),
+    /// Index into [`ClockTree::sinks`].
+    Sink(usize),
+}
+
+/// A synthesized clock tree.
+#[derive(Debug, Clone)]
+pub struct ClockTree {
+    /// All clock sinks (sequential cells), in netlist order.
+    pub sinks: Vec<ClockSink>,
+    /// All buffers; the root drives the whole tree.
+    pub buffers: Vec<ClockBuffer>,
+    /// Index of the root buffer.
+    pub root: usize,
+}
+
+/// Insertion-delay and load statistics of a clock tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockReport {
+    /// Number of sinks.
+    pub sinks: usize,
+    /// Number of inserted buffers.
+    pub buffers: usize,
+    /// Total clock wirelength in grid units.
+    pub wirelength: i64,
+    /// Worst insertion delay, ps.
+    pub max_insertion_ps: f64,
+    /// Best insertion delay, ps.
+    pub min_insertion_ps: f64,
+    /// Skew = max − min insertion delay, ps.
+    pub skew_ps: f64,
+    /// Total capacitance hanging off the clock net, fF.
+    pub total_cap_ff: f64,
+}
+
+/// Synthesizes a buffered clock tree over the sequential cells of a
+/// placed design. Returns `None` for purely combinational designs.
+pub fn build_clock_tree(
+    nl: &Netlist,
+    lib: &Library,
+    placed: &PlacedDesign,
+    opts: &ClockOptions,
+) -> Option<ClockTree> {
+    let sinks: Vec<ClockSink> = nl
+        .gate_ids()
+        .filter(|&g| nl.gate(g).kind == GateKind::Seq)
+        .map(|g| {
+            // Clock pin modelled at the cell's first input pin site.
+            let (x, y) = placed.pin_point(nl, lib, g, 0, false);
+            ClockSink { gate: g, x, y }
+        })
+        .collect();
+    if sinks.is_empty() {
+        return None;
+    }
+    let mut buffers = Vec::new();
+    let idx: Vec<usize> = (0..sinks.len()).collect();
+    let root = build_rec(&sinks, idx, opts.max_fanout, &mut buffers);
+    Some(ClockTree {
+        sinks,
+        buffers,
+        root,
+    })
+}
+
+/// Recursively bipartitions `members` (sink indices) and returns the
+/// index of the buffer driving them.
+fn build_rec(
+    sinks: &[ClockSink],
+    mut members: Vec<usize>,
+    max_fanout: usize,
+    buffers: &mut Vec<ClockBuffer>,
+) -> usize {
+    let centroid = |ms: &[usize]| -> (i32, i32) {
+        let n = ms.len() as i64;
+        let sx: i64 = ms.iter().map(|&i| i64::from(sinks[i].x)).sum();
+        let sy: i64 = ms.iter().map(|&i| i64::from(sinks[i].y)).sum();
+        ((sx / n) as i32, (sy / n) as i32)
+    };
+    let (cx, cy) = centroid(&members);
+    if members.len() <= max_fanout {
+        let children = members.into_iter().map(ClockNode::Sink).collect();
+        buffers.push(ClockBuffer {
+            x: cx,
+            y: cy,
+            children,
+        });
+        return buffers.len() - 1;
+    }
+    // Split along the dimension with the larger spread, at the median.
+    let spread = |f: fn(&ClockSink) -> i32| {
+        let lo = members.iter().map(|&i| f(&sinks[i])).min().expect("non-empty");
+        let hi = members.iter().map(|&i| f(&sinks[i])).max().expect("non-empty");
+        hi - lo
+    };
+    if spread(|s| s.x) >= spread(|s| s.y) {
+        members.sort_by_key(|&i| (sinks[i].x, sinks[i].y, i));
+    } else {
+        members.sort_by_key(|&i| (sinks[i].y, sinks[i].x, i));
+    }
+    let right = members.split_off(members.len() / 2);
+    let a = build_rec(sinks, members, max_fanout, buffers);
+    let b = build_rec(sinks, right, max_fanout, buffers);
+    buffers.push(ClockBuffer {
+        x: cx,
+        y: cy,
+        children: vec![ClockNode::Buffer(a), ClockNode::Buffer(b)],
+    });
+    buffers.len() - 1
+}
+
+impl ClockTree {
+    /// Computes insertion delays (Elmore-style: each buffer drives its
+    /// direct wires and children's input caps) and the load report.
+    pub fn report(&self, opts: &ClockOptions) -> ClockReport {
+        let mut wirelength = 0i64;
+        let mut total_cap = 0.0f64;
+        let mut insertion = vec![0.0f64; self.sinks.len()];
+        // DFS from the root with accumulated delay.
+        let mut stack = vec![(self.root, 0.0f64)];
+        while let Some((b, t0)) = stack.pop() {
+            let buf = &self.buffers[b];
+            // Load seen by this buffer: wires to children + their pins.
+            let mut load = 0.0;
+            for child in &buf.children {
+                let (cx, cy, cap) = match *child {
+                    ClockNode::Buffer(i) => {
+                        (self.buffers[i].x, self.buffers[i].y, opts.buffer_cap_ff)
+                    }
+                    ClockNode::Sink(i) => (self.sinks[i].x, self.sinks[i].y, opts.sink_cap_ff),
+                };
+                let dist = i64::from((buf.x - cx).abs() + (buf.y - cy).abs());
+                wirelength += dist;
+                load += dist as f64 * opts.wire_cap_ff_per_track + cap;
+            }
+            total_cap += load + opts.buffer_cap_ff;
+            let t_here = t0 + opts.buffer_delay_ps + opts.buffer_drive_kohm * load;
+            for child in &buf.children {
+                match *child {
+                    ClockNode::Buffer(i) => stack.push((i, t_here)),
+                    ClockNode::Sink(i) => insertion[i] = t_here,
+                }
+            }
+        }
+        let max = insertion.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = insertion.iter().copied().fold(f64::INFINITY, f64::min);
+        ClockReport {
+            sinks: self.sinks.len(),
+            buffers: self.buffers.len(),
+            wirelength,
+            max_insertion_ps: max,
+            min_insertion_ps: min,
+            skew_ps: max - min,
+            total_cap_ff: total_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PlacedCell;
+    use crate::grid::GridPitch;
+    use secflow_netlist::Netlist;
+
+    /// A design with `n` registers placed on a grid.
+    fn fixture(n: usize, cols: usize) -> (Netlist, PlacedDesign) {
+        let mut nl = Netlist::new("regs");
+        let mut cells = Vec::new();
+        for i in 0..n {
+            let d = nl.add_input(format!("d{i}"));
+            let q = nl.add_net(format!("q{i}"));
+            nl.add_gate(format!("r{i}"), "DFF", GateKind::Seq, vec![d], vec![q]);
+            nl.mark_output(q);
+            cells.push(PlacedCell {
+                x: ((i % cols) * 14) as i32,
+                row: (i / cols) as u32,
+            });
+        }
+        let placed = PlacedDesign {
+            name: "regs".into(),
+            width: (cols * 14) as i32,
+            height: (n as i32 / cols as i32 + 1) * 8,
+            row_height: 8,
+            pitch: GridPitch::Normal,
+            cells,
+            input_pads: vec![],
+            output_pads: vec![],
+        };
+        (nl, placed)
+    }
+
+    #[test]
+    fn fanout_bound_is_respected() {
+        let (nl, placed) = fixture(37, 6);
+        let lib = Library::lib180();
+        let opts = ClockOptions::default();
+        let tree = build_clock_tree(&nl, &lib, &placed, &opts).expect("has registers");
+        assert_eq!(tree.sinks.len(), 37);
+        for b in &tree.buffers {
+            assert!(b.children.len() <= opts.max_fanout.max(2));
+            assert!(!b.children.is_empty());
+        }
+        // Every sink appears exactly once.
+        let mut seen = vec![0usize; tree.sinks.len()];
+        for b in &tree.buffers {
+            for c in &b.children {
+                if let ClockNode::Sink(i) = *c {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn balanced_grid_has_low_skew() {
+        let (nl, placed) = fixture(64, 8);
+        let lib = Library::lib180();
+        let opts = ClockOptions::default();
+        let tree = build_clock_tree(&nl, &lib, &placed, &opts).expect("registers");
+        let rep = tree.report(&opts);
+        assert_eq!(rep.sinks, 64);
+        assert!(rep.buffers >= 16);
+        assert!(rep.skew_ps >= 0.0);
+        // A regular grid splits evenly: skew well under one buffer
+        // stage.
+        assert!(
+            rep.skew_ps < opts.buffer_delay_ps * 2.0,
+            "skew {}",
+            rep.skew_ps
+        );
+        assert!(rep.total_cap_ff > 64.0 * opts.sink_cap_ff);
+        assert!(rep.wirelength > 0);
+    }
+
+    #[test]
+    fn combinational_design_has_no_tree() {
+        let mut nl = Netlist::new("comb");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_gate("g", "BUF", secflow_netlist::GateKind::Comb, vec![a], vec![y]);
+        let placed = PlacedDesign {
+            name: "comb".into(),
+            width: 20,
+            height: 8,
+            row_height: 8,
+            pitch: GridPitch::Normal,
+            cells: vec![PlacedCell { x: 0, row: 0 }],
+            input_pads: vec![],
+            output_pads: vec![],
+        };
+        let lib = Library::lib180();
+        assert!(build_clock_tree(&nl, &lib, &placed, &ClockOptions::default()).is_none());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (nl, placed) = fixture(23, 5);
+        let lib = Library::lib180();
+        let opts = ClockOptions::default();
+        let a = build_clock_tree(&nl, &lib, &placed, &opts).unwrap();
+        let b = build_clock_tree(&nl, &lib, &placed, &opts).unwrap();
+        assert_eq!(a.buffers, b.buffers);
+    }
+}

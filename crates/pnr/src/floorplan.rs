@@ -1,0 +1,117 @@
+//! Die sizing: rows and core width from total cell area, fill factor
+//! and aspect ratio.
+
+use secflow_cells::{Library, ROW_TRACKS};
+use secflow_netlist::Netlist;
+
+/// A core floorplan: standard cell rows of equal width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    /// Number of cell rows.
+    pub rows: u32,
+    /// Core width in routing tracks.
+    pub width_tracks: u32,
+}
+
+impl Floorplan {
+    /// Sizes a floorplan for `nl` with the given `fill_factor`
+    /// (fraction of row area occupied by cells, the paper uses 0.8)
+    /// and `aspect_ratio` (width / height, the paper uses 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill_factor` is not in `(0, 1]`, `aspect_ratio` is
+    /// not positive, or a gate references an unknown cell.
+    pub fn size_for(nl: &Netlist, lib: &Library, fill_factor: f64, aspect_ratio: f64) -> Self {
+        assert!(fill_factor > 0.0 && fill_factor <= 1.0);
+        assert!(aspect_ratio > 0.0);
+        let total_width: u64 = nl
+            .gates()
+            .iter()
+            .map(|g| {
+                u64::from(
+                    lib.by_name(&g.cell)
+                        .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell))
+                        .physical()
+                        .width_tracks,
+                )
+            })
+            .sum();
+        Self::size_for_width(total_width, fill_factor, aspect_ratio)
+    }
+
+    /// Sizes a floorplan for a given total cell width (in tracks).
+    pub fn size_for_width(total_width_tracks: u64, fill_factor: f64, aspect_ratio: f64) -> Self {
+        assert!(fill_factor > 0.0 && fill_factor <= 1.0);
+        assert!(aspect_ratio > 0.0);
+        // Core area in track² such that cells fill `fill_factor` of it.
+        let area = (total_width_tracks.max(1) as f64) * f64::from(ROW_TRACKS) / fill_factor;
+        // width / height = aspect  =>  height = sqrt(area / aspect).
+        let height = (area / aspect_ratio).sqrt();
+        let rows = (height / f64::from(ROW_TRACKS)).ceil().max(1.0) as u32;
+        // Width so that the requested fill is achievable per row on
+        // average, with a little slack for packing fragmentation.
+        let width = ((total_width_tracks as f64) / (f64::from(rows) * fill_factor))
+            .ceil()
+            .max(4.0) as u32;
+        Floorplan {
+            rows,
+            width_tracks: width,
+        }
+    }
+
+    /// Core height in routing tracks.
+    pub fn height_tracks(&self) -> u32 {
+        self.rows * ROW_TRACKS
+    }
+
+    /// Core area in µm².
+    pub fn area_um2(&self) -> f64 {
+        use secflow_cells::TRACK_UM;
+        f64::from(self.width_tracks) * TRACK_UM * f64::from(self.height_tracks()) * TRACK_UM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_floorplan_for_square_aspect() {
+        let fp = Floorplan::size_for_width(800, 0.8, 1.0);
+        let w = f64::from(fp.width_tracks);
+        let h = f64::from(fp.height_tracks());
+        let ratio = w / h;
+        assert!((0.6..=1.6).contains(&ratio), "ratio {ratio}");
+        // All cells must fit.
+        assert!(u64::from(fp.width_tracks) * u64::from(fp.rows) >= 800);
+    }
+
+    #[test]
+    fn lower_fill_means_more_area() {
+        let tight = Floorplan::size_for_width(1000, 1.0, 1.0);
+        let loose = Floorplan::size_for_width(1000, 0.5, 1.0);
+        assert!(loose.area_um2() > tight.area_um2());
+    }
+
+    #[test]
+    fn wide_aspect_gives_wide_die() {
+        let wide = Floorplan::size_for_width(1000, 0.8, 4.0);
+        let square = Floorplan::size_for_width(1000, 0.8, 1.0);
+        assert!(wide.width_tracks > square.width_tracks);
+        assert!(wide.rows <= square.rows);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fill_panics() {
+        let _ = Floorplan::size_for_width(100, 0.0, 1.0);
+    }
+
+    #[test]
+    fn tiny_netlist_gets_minimum_die() {
+        let fp = Floorplan::size_for_width(0, 0.8, 1.0);
+        assert!(fp.rows >= 1);
+        assert!(fp.width_tracks >= 4);
+    }
+}

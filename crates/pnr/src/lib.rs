@@ -1,0 +1,38 @@
+//! Place & route for the secure design flow.
+//!
+//! This crate stands in for the commercial back-end tool (Silicon
+//! Ensemble) in the paper's flow:
+//!
+//! * [`Floorplan`] — die sizing from total cell area, fill factor and
+//!   aspect ratio (the paper uses aspect ratio 1, fill factor 80 %);
+//! * [`place`] — row-based placement: a connectivity-ordered initial
+//!   placement refined by simulated annealing on half-perimeter
+//!   wirelength;
+//! * [`route`] — a two-layer gridded router (horizontal/vertical track
+//!   grid with vias) using PathFinder-style negotiated congestion;
+//! * **fat-wire mode** — the entire router runs unchanged on a
+//!   double-pitch grid ([`GridPitch::Fat`]), which is how the
+//!   differential-pair routing trick of the paper is realized: the fat
+//!   design is routed at pitch 2, then each fat wire is decomposed into
+//!   two parallel wires at pitch 1 (see the `secflow-core` crate);
+//! * [`RoutedDesign`] — the DEF-like design database, with a text
+//!   writer/reader for the `fat.def` / `diff.def` artifacts.
+//!
+//! All coordinates are integer routing-track units; one track is
+//! [`secflow_cells::TRACK_UM`] micrometres.
+
+mod clock;
+mod design;
+mod floorplan;
+mod grid;
+mod place;
+mod route;
+
+pub use clock::{
+    build_clock_tree, ClockBuffer, ClockNode, ClockOptions, ClockReport, ClockSink, ClockTree,
+};
+pub use design::{parse_def, write_def, PlacedCell, PlacedDesign, RoutedDesign, RoutedNet};
+pub use floorplan::Floorplan;
+pub use grid::{is_horizontal, GridPitch, Point, RoutingGrid, Segment, LAYER_H, LAYER_V};
+pub use place::{place, PlaceOptions};
+pub use route::{route, RouteError, RouteOptions};

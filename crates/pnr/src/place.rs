@@ -1,0 +1,416 @@
+//! Row-based placement: connectivity-ordered initial placement refined
+//! by simulated annealing on half-perimeter wirelength.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use secflow_cells::{Library, ROW_TRACKS};
+use secflow_netlist::{GateId, NetId, Netlist};
+
+use crate::design::{PlacedCell, PlacedDesign};
+use crate::floorplan::Floorplan;
+use crate::grid::GridPitch;
+
+/// Placement configuration.
+#[derive(Debug, Clone)]
+pub struct PlaceOptions {
+    /// Fraction of row area occupied by cells (paper: 0.8).
+    pub fill_factor: f64,
+    /// Die width / height (paper: 1.0).
+    pub aspect_ratio: f64,
+    /// Simulated-annealing moves per gate (0 disables refinement).
+    pub anneal_moves_per_gate: usize,
+    /// RNG seed for the annealer.
+    pub seed: u64,
+    /// Grid pitch recorded in the output (placement itself is
+    /// pitch-agnostic).
+    pub pitch: GridPitch,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            fill_factor: 0.8,
+            aspect_ratio: 1.0,
+            anneal_moves_per_gate: 200,
+            seed: 1,
+            pitch: GridPitch::Normal,
+        }
+    }
+}
+
+/// Per-row cell sequences plus derived x coordinates.
+struct RowState {
+    rows: Vec<Vec<GateId>>,
+    widths: Vec<u32>,
+    cap: u32,
+}
+
+impl RowState {
+    fn repack(&self, nl: &Netlist, lib: &Library, out: &mut [PlacedCell]) {
+        for r in 0..self.rows.len() {
+            self.repack_row(nl, lib, r, out);
+        }
+    }
+
+    fn repack_row(&self, nl: &Netlist, lib: &Library, r: usize, out: &mut [PlacedCell]) {
+        let row = &self.rows[r];
+        let used: u32 = row.iter().map(|&g| cell_width(nl, lib, g)).sum();
+        let slack = self.cap.saturating_sub(used);
+        let gap = if row.is_empty() {
+            0
+        } else {
+            slack / (row.len() as u32 + 1)
+        };
+        let mut x = gap as i32;
+        for &g in row {
+            out[g.index()] = PlacedCell { x, row: r as u32 };
+            x += cell_width(nl, lib, g) as i32 + gap as i32;
+        }
+    }
+}
+
+fn cell_width(nl: &Netlist, lib: &Library, g: GateId) -> u32 {
+    lib.by_name(&nl.gate(g).cell)
+        .unwrap_or_else(|| panic!("unknown cell `{}`", nl.gate(g).cell))
+        .physical()
+        .width_tracks
+}
+
+/// Places `nl` on a freshly sized floorplan.
+///
+/// The initial placement packs gates into rows in topological order
+/// (a cheap proxy for connectivity locality), then simulated annealing
+/// swaps and relocates cells to reduce total HPWL. Deterministic for a
+/// fixed seed.
+///
+/// # Panics
+///
+/// Panics if a gate references a cell missing from `lib`.
+pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
+    let mut fp = Floorplan::size_for(nl, lib, opts.fill_factor, opts.aspect_ratio);
+    // Each die edge offers one pad slot per track except row centers;
+    // grow the die until every primary input/output gets a pad.
+    let n_pads = nl.inputs().len().max(nl.outputs().len()) as u32;
+    while fp.rows * (ROW_TRACKS - 1) < n_pads {
+        fp.rows += 1;
+    }
+    let order = secflow_netlist::topo_order(nl)
+        .unwrap_or_else(|| nl.gate_ids().collect());
+
+    // Initial serpentine fill.
+    let mut rows: Vec<Vec<GateId>> = vec![Vec::new(); fp.rows as usize];
+    let mut widths = vec![0u32; fp.rows as usize];
+    let cap = fp.width_tracks;
+    let mut r = 0usize;
+    for g in order {
+        let w = cell_width(nl, lib, g);
+        let mut tries = 0;
+        while widths[r] + w > cap && tries < rows.len() {
+            r = (r + 1) % rows.len();
+            tries += 1;
+        }
+        // If every row is nominally full, spill into the least-used
+        // row (the floorplan has slack, so this stays rare).
+        if widths[r] + w > cap {
+            r = (0..rows.len()).min_by_key(|&i| widths[i]).expect("rows exist");
+        }
+        rows[r].push(g);
+        widths[r] += w;
+    }
+
+    let state = RowState { rows, widths, cap };
+    let height = fp.height_tracks() as i32;
+    let pad_slots: Vec<i32> = (0..height)
+        .filter(|y| y % ROW_TRACKS as i32 != ROW_TRACKS as i32 / 2)
+        .collect();
+    let spread = |nets: &[secflow_netlist::NetId]| -> Vec<(secflow_netlist::NetId, i32)> {
+        nets.iter()
+            .enumerate()
+            .map(|(i, &n)| (n, pad_slots[i * pad_slots.len() / nets.len().max(1)]))
+            .collect()
+    };
+    let mut design = PlacedDesign {
+        name: nl.name.clone(),
+        width: fp.width_tracks as i32,
+        height,
+        row_height: ROW_TRACKS as i32,
+        pitch: opts.pitch,
+        cells: vec![PlacedCell { x: 0, row: 0 }; nl.gate_count()],
+        input_pads: spread(nl.inputs()),
+        output_pads: spread(nl.outputs()),
+    };
+    let mut state = state;
+    state.repack(nl, lib, &mut design.cells);
+
+    if opts.anneal_moves_per_gate > 0 && nl.gate_count() > 1 {
+        anneal(nl, lib, &mut state, &mut design, opts);
+    }
+    design
+}
+
+/// Nets incident to a gate (inputs + outputs).
+fn gate_nets(nl: &Netlist, g: GateId) -> Vec<NetId> {
+    let gate = nl.gate(g);
+    gate.inputs
+        .iter()
+        .chain(gate.outputs.iter())
+        .copied()
+        .collect()
+}
+
+fn anneal(
+    nl: &Netlist,
+    lib: &Library,
+    state: &mut RowState,
+    design: &mut PlacedDesign,
+    opts: &PlaceOptions,
+) {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let moves = opts.anneal_moves_per_gate * nl.gate_count();
+    let n_rows = state.rows.len();
+    let mut total = design.total_hpwl(nl, lib);
+    let mut best = total;
+    let mut best_cells = design.cells.clone();
+    // Initial temperature scaled to typical net span.
+    let mut temp = (design.width + design.height) as f64 / 4.0;
+    let cooling = if moves > 0 {
+        (0.005f64 / temp).powf(1.0 / moves as f64)
+    } else {
+        1.0
+    };
+
+    for _ in 0..moves {
+        // Pick a random occupied (row, index).
+        let r1 = rng.random_range(0..n_rows);
+        if state.rows[r1].is_empty() {
+            temp *= cooling;
+            continue;
+        }
+        let i1 = rng.random_range(0..state.rows[r1].len());
+        let g1 = state.rows[r1][i1];
+        let w1 = cell_width(nl, lib, g1);
+
+        // Either swap with another cell or relocate into another row.
+        let r2 = rng.random_range(0..n_rows);
+        let swap_target: Option<(usize, GateId)> = if !state.rows[r2].is_empty() && rng.random_bool(0.5)
+        {
+            let i2 = rng.random_range(0..state.rows[r2].len());
+            Some((i2, state.rows[r2][i2]))
+        } else {
+            None
+        };
+
+        // Feasibility on row capacity.
+        match swap_target {
+            Some((_, g2)) if r1 != r2 => {
+                let w2 = cell_width(nl, lib, g2);
+                if state.widths[r1] - w1 + w2 > state.cap
+                    || state.widths[r2] - w2 + w1 > state.cap
+                {
+                    temp *= cooling;
+                    continue;
+                }
+            }
+            None if r1 != r2 && state.widths[r2] + w1 > state.cap => {
+                temp *= cooling;
+                continue;
+            }
+            _ => {}
+        }
+
+        // Affected nets: repacking redistributes whitespace across the
+        // whole touched rows, so every net incident to rows r1/r2 may
+        // change.
+        let mut nets: Vec<NetId> = state.rows[r1]
+            .iter()
+            .chain(state.rows[r2].iter())
+            .flat_map(|&g| gate_nets(nl, g))
+            .collect();
+        nets.sort_unstable();
+        nets.dedup();
+        let before: i64 = nets.iter().map(|&n| design.net_hpwl(nl, lib, n)).sum();
+
+        // Apply the move.
+        let undo = apply_move(state, r1, i1, r2, swap_target.map(|(i2, _)| i2));
+        state.repack_row(nl, lib, r1, &mut design.cells);
+        state.repack_row(nl, lib, r2, &mut design.cells);
+        let after: i64 = nets.iter().map(|&n| design.net_hpwl(nl, lib, n)).sum();
+
+        let delta = (after - before) as f64;
+        let accept = delta <= 0.0 || rng.random_bool((-delta / temp.max(1e-9)).exp().min(1.0));
+        if !accept {
+            undo_move(state, undo);
+            state.repack_row(nl, lib, r1, &mut design.cells);
+            state.repack_row(nl, lib, r2, &mut design.cells);
+        } else {
+            // Keep width bookkeeping in sync.
+            recompute_widths(nl, lib, state);
+            total += after - before;
+            if total < best {
+                best = total;
+                best_cells = design.cells.clone();
+            }
+        }
+        temp *= cooling;
+    }
+    // Annealing may end uphill; keep the best placement seen.
+    if best < total {
+        design.cells = best_cells;
+    }
+}
+
+/// A reversible move description.
+enum Undo {
+    Swap { r1: usize, i1: usize, r2: usize, i2: usize },
+    Relocate { from: usize, to: usize, to_idx: usize, orig_idx: usize },
+}
+
+fn apply_move(
+    state: &mut RowState,
+    r1: usize,
+    i1: usize,
+    r2: usize,
+    swap_i2: Option<usize>,
+) -> Undo {
+    match swap_i2 {
+        Some(i2) => {
+            let g1 = state.rows[r1][i1];
+            let g2 = state.rows[r2][i2];
+            state.rows[r1][i1] = g2;
+            state.rows[r2][i2] = g1;
+            Undo::Swap { r1, i1, r2, i2 }
+        }
+        None => {
+            let g = state.rows[r1].remove(i1);
+            state.rows[r2].push(g);
+            Undo::Relocate {
+                from: r1,
+                to: r2,
+                to_idx: state.rows[r2].len() - 1,
+                orig_idx: i1,
+            }
+        }
+    }
+}
+
+fn undo_move(state: &mut RowState, undo: Undo) {
+    match undo {
+        Undo::Swap { r1, i1, r2, i2 } => {
+            let g1 = state.rows[r2][i2];
+            let g2 = state.rows[r1][i1];
+            state.rows[r1][i1] = g1;
+            state.rows[r2][i2] = g2;
+        }
+        Undo::Relocate {
+            from,
+            to,
+            to_idx,
+            orig_idx,
+        } => {
+            let g = state.rows[to].remove(to_idx);
+            state.rows[from].insert(orig_idx, g);
+        }
+    }
+}
+
+fn recompute_widths(nl: &Netlist, lib: &Library, state: &mut RowState) {
+    for (w, row) in state.widths.iter_mut().zip(&state.rows) {
+        *w = row.iter().map(|&g| cell_width(nl, lib, g)).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+
+    fn chain_netlist(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for i in 0..n {
+            let next = nl.add_net(format!("w{i}"));
+            nl.add_gate(format!("g{i}"), "BUF", GateKind::Comb, vec![prev], vec![next]);
+            prev = next;
+        }
+        nl.mark_output(prev);
+        nl
+    }
+
+    #[test]
+    fn all_cells_inside_die() {
+        let nl = chain_netlist(40);
+        let lib = Library::lib180();
+        let d = place(&nl, &lib, &PlaceOptions::default());
+        for gid in nl.gate_ids() {
+            let c = d.cells[gid.index()];
+            let w = cell_width(&nl, &lib, gid) as i32;
+            assert!(c.x >= 0 && c.x + w <= d.width, "cell {gid} out of die");
+            assert!((c.row as i32) * d.row_height < d.height);
+        }
+    }
+
+    #[test]
+    fn no_overlaps_within_rows() {
+        let nl = chain_netlist(60);
+        let lib = Library::lib180();
+        let d = place(&nl, &lib, &PlaceOptions::default());
+        // Group by row, sort by x, check non-overlap.
+        let mut per_row: std::collections::HashMap<u32, Vec<(i32, i32)>> = Default::default();
+        for gid in nl.gate_ids() {
+            let c = d.cells[gid.index()];
+            let w = cell_width(&nl, &lib, gid) as i32;
+            per_row.entry(c.row).or_default().push((c.x, c.x + w));
+        }
+        for (_, mut spans) in per_row {
+            spans.sort();
+            for pair in spans.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "overlap {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_increase_wirelength() {
+        let nl = chain_netlist(50);
+        let lib = Library::lib180();
+        let no_anneal = place(
+            &nl,
+            &lib,
+            &PlaceOptions {
+                anneal_moves_per_gate: 0,
+                ..Default::default()
+            },
+        );
+        let annealed = place(&nl, &lib, &PlaceOptions::default());
+        assert!(
+            annealed.total_hpwl(&nl, &lib) <= no_anneal.total_hpwl(&nl, &lib),
+            "annealing made placement worse"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let nl = chain_netlist(30);
+        let lib = Library::lib180();
+        let a = place(&nl, &lib, &PlaceOptions::default());
+        let b = place(&nl, &lib, &PlaceOptions::default());
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn pitch_is_recorded() {
+        let nl = chain_netlist(5);
+        let lib = Library::lib180();
+        let d = place(
+            &nl,
+            &lib,
+            &PlaceOptions {
+                pitch: GridPitch::Fat,
+                anneal_moves_per_gate: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(d.pitch, GridPitch::Fat);
+    }
+}

@@ -1,0 +1,592 @@
+//! Cycle drivers: single-ended CMOS and two-phase WDDL simulation
+//! loops around the event engine.
+
+use secflow_cells::Library;
+use secflow_extract::Parasitics;
+use secflow_netlist::{GateId, NetId, Netlist};
+
+use crate::config::SimConfig;
+use crate::engine::{is_wddl_register, Engine};
+use crate::load::LoadModel;
+use crate::noise::add_gaussian_noise;
+
+/// The output of a power simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Supply-current trace: charge (fC) drawn per sample bin,
+    /// `cycles × samples_per_cycle` entries.
+    pub trace: Vec<f64>,
+    /// Energy drawn from the supply per cycle, in fJ.
+    pub cycle_energy_fj: Vec<f64>,
+    /// Rising-transition count per cycle (switching activity).
+    pub cycle_rises: Vec<u64>,
+    /// Primary-output net values sampled at the end of each cycle.
+    pub outputs_per_cycle: Vec<Vec<bool>>,
+    /// For WDDL runs: per cycle, the number of registers whose input
+    /// pair was still `(0, 0)` at the capturing clock edge — the DFA
+    /// alarm condition of §4.3.
+    pub wddl_alarms: Vec<usize>,
+    /// Net transitions `(time_ps, net, new value)` when
+    /// [`SimConfig::record_waveform`] is enabled.
+    pub waveform: Vec<(u64, NetId, bool)>,
+}
+
+impl SimResult {
+    /// Mean energy per cycle in fJ.
+    pub fn mean_energy_fj(&self) -> f64 {
+        if self.cycle_energy_fj.is_empty() {
+            return 0.0;
+        }
+        self.cycle_energy_fj.iter().sum::<f64>() / self.cycle_energy_fj.len() as f64
+    }
+
+    /// The samples of one cycle.
+    pub fn cycle_trace(&self, cycle: usize, samples_per_cycle: usize) -> &[f64] {
+        &self.trace[cycle * samples_per_cycle..(cycle + 1) * samples_per_cycle]
+    }
+}
+
+/// Simulates a single-ended (regular CMOS) netlist.
+///
+/// `input_vectors[c][i]` is the value of primary input `i` (in
+/// [`Netlist::inputs`] order) during cycle `c`. Registers reset to 0.
+///
+/// # Panics
+///
+/// Panics if any vector length differs from the input count, or the
+/// netlist is cyclic.
+pub fn simulate_single_ended(
+    nl: &Netlist,
+    lib: &Library,
+    parasitics: Option<&Parasitics>,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
+    let load = LoadModel::build(nl, lib, parasitics);
+    let n_cycles = input_vectors.len();
+    let mut engine = Engine::new(nl, lib, &load, cfg, n_cycles);
+    engine.settle_initial();
+
+    // Registers: (gate, d-net, q-net).
+    let regs: Vec<(GateId, NetId, NetId)> = nl
+        .gate_ids()
+        .filter(|&g| nl.gate(g).kind == secflow_netlist::GateKind::Seq)
+        .map(|g| (g, nl.gate(g).inputs[0], nl.gate(g).outputs[0]))
+        .collect();
+    let mut reg_state = vec![false; regs.len()];
+
+    let mut result = SimResult {
+        trace: Vec::new(),
+        cycle_energy_fj: Vec::with_capacity(n_cycles),
+        cycle_rises: Vec::with_capacity(n_cycles),
+        outputs_per_cycle: Vec::with_capacity(n_cycles),
+        wddl_alarms: Vec::new(),
+        waveform: Vec::new(),
+    };
+
+    for (c, vector) in input_vectors.iter().enumerate() {
+        assert_eq!(vector.len(), nl.inputs().len(), "bad vector length");
+        let t0 = c as u64 * cfg.period_ps;
+        for (i, (_, _, q)) in regs.iter().enumerate() {
+            engine.inject(*q, t0 + cfg.clk2q_ps, reg_state[i]);
+        }
+        for (&net, &v) in nl.inputs().iter().zip(vector) {
+            engine.inject(net, t0 + cfg.input_delay_ps, v);
+        }
+        engine.run_until(t0 + cfg.period_ps);
+        for (i, (_, d, _)) in regs.iter().enumerate() {
+            reg_state[i] = engine.value(*d);
+        }
+        let (e, rises) = engine.take_energy();
+        result.cycle_energy_fj.push(e);
+        result.cycle_rises.push(rises);
+        result
+            .outputs_per_cycle
+            .push(nl.outputs().iter().map(|&o| engine.value(o)).collect());
+    }
+    result.waveform = std::mem::take(&mut engine.waveform);
+    result.trace = engine.trace;
+    if cfg.noise_sigma > 0.0 {
+        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
+    }
+    result
+}
+
+/// Simulates a WDDL differential netlist through the two-phase
+/// precharge/evaluate protocol.
+///
+/// `input_pairs[i]` is the `(true-rail, false-rail)` net pair of
+/// logical input `i`; `input_vectors[c][i]` its logical value during
+/// cycle `c`. In the first (precharge) phase of every cycle all input
+/// pairs and register outputs are driven to `(0, 0)`; in the
+/// evaluation phase to `(v, ¬v)`.
+///
+/// # Panics
+///
+/// Panics if vector lengths are inconsistent.
+pub fn simulate_wddl(
+    nl: &Netlist,
+    lib: &Library,
+    parasitics: Option<&Parasitics>,
+    cfg: &SimConfig,
+    input_pairs: &[(NetId, NetId)],
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
+    let load = LoadModel::build(nl, lib, parasitics);
+    let n_cycles = input_vectors.len();
+    let mut engine = Engine::new(nl, lib, &load, cfg, n_cycles);
+    // All-zero is the natural WDDL precharge state; the differential
+    // netlist is positive-monotone, so no settling is required, but it
+    // is harmless and handles tie cells.
+    engine.settle_initial();
+
+    // WDDL registers: (dt, df, qt, qf).
+    let regs: Vec<(NetId, NetId, NetId, NetId)> = nl
+        .gate_ids()
+        .filter(|&g| is_wddl_register(nl.gate(g)))
+        .map(|g| {
+            let gate = nl.gate(g);
+            (gate.inputs[0], gate.inputs[1], gate.outputs[0], gate.outputs[1])
+        })
+        .collect();
+    // Reset to logical 0 as a *valid* code word (t, f) = (0, 1): a real
+    // WDDL register initializes to a legal differential state.
+    let mut reg_state: Vec<(bool, bool)> = vec![(false, true); regs.len()];
+
+    let mut result = SimResult {
+        trace: Vec::new(),
+        cycle_energy_fj: Vec::with_capacity(n_cycles),
+        cycle_rises: Vec::with_capacity(n_cycles),
+        outputs_per_cycle: Vec::with_capacity(n_cycles),
+        wddl_alarms: Vec::with_capacity(n_cycles),
+        waveform: Vec::new(),
+    };
+
+    for (c, vector) in input_vectors.iter().enumerate() {
+        assert_eq!(vector.len(), input_pairs.len(), "bad vector length");
+        let t0 = c as u64 * cfg.period_ps;
+        let te = t0 + cfg.eval_start_ps();
+
+        // Precharge phase: everything to (0, 0).
+        for (_, _, qt, qf) in &regs {
+            engine.inject(*qt, t0 + cfg.clk2q_ps, false);
+            engine.inject(*qf, t0 + cfg.clk2q_ps, false);
+        }
+        for &(t, f) in input_pairs {
+            engine.inject(t, t0 + cfg.input_delay_ps, false);
+            engine.inject(f, t0 + cfg.input_delay_ps, false);
+        }
+        // Evaluation phase: stored values and differential inputs.
+        for (i, (_, _, qt, qf)) in regs.iter().enumerate() {
+            engine.inject(*qt, te + cfg.clk2q_ps, reg_state[i].0);
+            engine.inject(*qf, te + cfg.clk2q_ps, reg_state[i].1);
+        }
+        for (&(t, f), &v) in input_pairs.iter().zip(vector) {
+            engine.inject(t, te + cfg.input_delay_ps, v);
+            engine.inject(f, te + cfg.input_delay_ps, !v);
+        }
+        engine.run_until(t0 + cfg.period_ps);
+
+        // Capture at the rising edge; (0,0) pairs are DFA alarms.
+        let mut alarms = 0;
+        for (i, (dt, df, _, _)) in regs.iter().enumerate() {
+            let pair = (engine.value(*dt), engine.value(*df));
+            if pair == (false, false) {
+                alarms += 1;
+            }
+            reg_state[i] = pair;
+        }
+        result.wddl_alarms.push(alarms);
+        let (e, rises) = engine.take_energy();
+        result.cycle_energy_fj.push(e);
+        result.cycle_rises.push(rises);
+        result
+            .outputs_per_cycle
+            .push(nl.outputs().iter().map(|&o| engine.value(o)).collect());
+    }
+    result.trace = engine.trace;
+    if cfg.noise_sigma > 0.0 {
+        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+
+    /// y = a AND b, q = DFF(y).
+    fn se_netlist() -> Netlist {
+        let mut nl = Netlist::new("se");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        nl.add_gate("g0", "AND2", GateKind::Comb, vec![a, b], vec![y]);
+        nl.add_gate("r0", "DFF", GateKind::Seq, vec![y], vec![q]);
+        nl.mark_output(q);
+        nl
+    }
+
+    #[test]
+    fn single_ended_functional_behaviour() {
+        let nl = se_netlist();
+        let lib = Library::lib180();
+        let cfg = SimConfig::default();
+        let vectors = vec![
+            vec![true, true],
+            vec![false, true],
+            vec![true, true],
+            vec![true, true],
+        ];
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
+        // q lags y by one cycle: cycles observe q = prev cycle's a&b.
+        let qs: Vec<bool> = r.outputs_per_cycle.iter().map(|o| o[0]).collect();
+        assert_eq!(qs, vec![false, true, false, true]);
+        assert_eq!(r.trace.len(), 4 * cfg.samples_per_cycle);
+    }
+
+    #[test]
+    fn single_ended_power_depends_on_data() {
+        let nl = se_netlist();
+        let lib = Library::lib180();
+        let cfg = SimConfig::default();
+        // Cycle 1 with activity, cycle 2 without.
+        let vectors = vec![vec![true, true], vec![true, true], vec![true, true]];
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
+        // After the first cycle everything is stable: no switching.
+        assert!(r.cycle_energy_fj[0] > 0.0);
+        assert_eq!(r.cycle_energy_fj[2], 0.0);
+    }
+
+    /// A tiny hand-built WDDL netlist: differential AND of one input
+    /// pair with a register pair.
+    /// (yt, yf) = WDDL-AND((at, af), (bt, bf)) = (at·bt, af+bf).
+    fn wddl_netlist() -> (Netlist, Vec<(NetId, NetId)>) {
+        let mut nl = Netlist::new("wddl");
+        let at = nl.add_input("a_t");
+        let af = nl.add_input("a_f");
+        let bt = nl.add_input("b_t");
+        let bf = nl.add_input("b_f");
+        let yt = nl.add_net("y_t");
+        let yf = nl.add_net("y_f");
+        let qt = nl.add_net("q_t");
+        let qf = nl.add_net("q_f");
+        nl.add_gate("g_t", "AND2", GateKind::Comb, vec![at, bt], vec![yt]);
+        nl.add_gate("g_f", "OR2", GateKind::Comb, vec![af, bf], vec![yf]);
+        nl.add_gate("r0", "WDDLDFF", GateKind::Seq, vec![yt, yf], vec![qt, qf]);
+        nl.mark_output(qt);
+        nl.mark_output(qf);
+        (nl, vec![(at, af), (bt, bf)])
+    }
+
+    /// Library with a WDDLDFF added.
+    fn wddl_lib() -> Library {
+        use secflow_cells::{CellFunction, LefMacro, LibCell};
+        let mut cells: Vec<LibCell> = Library::lib180().cells().to_vec();
+        cells.push(LibCell::new(
+            "WDDLDFF",
+            CellFunction::WddlDff,
+            vec![2.8, 2.8],
+            4.0,
+            120.0,
+            LefMacro::evenly_spread(24, 2, 2),
+        ));
+        Library::new(cells)
+    }
+
+    #[test]
+    fn wddl_register_captures_differential_value() {
+        let (nl, pairs) = wddl_netlist();
+        let lib = wddl_lib();
+        let cfg = SimConfig::default();
+        let vectors = vec![vec![true, true], vec![false, true], vec![true, false]];
+        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors);
+        // Outputs (qt, qf) show previous cycle's AND value.
+        let got: Vec<(bool, bool)> = r
+            .outputs_per_cycle
+            .iter()
+            .map(|o| (o[0], o[1]))
+            .collect();
+        // At the end of cycle c the register outputs hold the value
+        // captured at the end of cycle c-1 (evaluation phase drove
+        // them).
+        assert_eq!(got[1], (true, false)); // a&b of cycle 0 = 1
+        assert_eq!(got[2], (false, true)); // a&b of cycle 1 = 0
+        // Every cycle completes: no alarms.
+        assert_eq!(r.wddl_alarms, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn wddl_switching_count_is_data_independent() {
+        let (nl, pairs) = wddl_netlist();
+        let lib = wddl_lib();
+        let cfg = SimConfig::default();
+        // Two very different input sequences.
+        let run = |vectors: Vec<Vec<bool>>| {
+            simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors)
+        };
+        let r1 = run(vec![vec![true, true]; 4]);
+        let r2 = run(vec![
+            vec![false, false],
+            vec![true, false],
+            vec![false, true],
+            vec![false, false],
+        ]);
+        // After the pipeline fills (cycle >= 1), each cycle has exactly
+        // one rising event per dual-rail signal: identical counts.
+        assert_eq!(r1.cycle_rises[2], r2.cycle_rises[2]);
+        assert_eq!(r1.cycle_rises[3], r2.cycle_rises[3]);
+    }
+
+    #[test]
+    fn short_evaluation_phase_raises_dfa_alarm() {
+        let (nl, pairs) = wddl_netlist();
+        let lib = wddl_lib();
+        // Evaluation phase squeezed to 0.1% of the cycle (8 ps —
+        // shorter than even the input driver delay): the wave cannot
+        // reach the register.
+        let cfg = SimConfig {
+            precharge_fraction: 0.999,
+            ..Default::default()
+        };
+        let vectors = vec![vec![true, true]; 3];
+        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors);
+        assert!(r.wddl_alarms.iter().any(|&a| a > 0), "no alarm raised");
+    }
+}
+
+/// Simulates a single-ended netlist with an idealized **glitch-free**
+/// power model: per cycle, every net settles directly to its final
+/// value and draws `C·Vdd` once if it rose — the power a designer
+/// might naively predict from switching activity alone. Comparing DPA
+/// outcomes against [`simulate_single_ended`] isolates how much
+/// leakage the glitches contribute (ablation of the inertial-delay
+/// model).
+///
+/// The whole cycle's charge is deposited uniformly over the first
+/// quarter of the cycle (temporal structure is not modelled).
+///
+/// # Panics
+///
+/// Panics if vector lengths are inconsistent or the netlist is cyclic.
+pub fn simulate_single_ended_glitch_free(
+    nl: &Netlist,
+    lib: &Library,
+    parasitics: Option<&Parasitics>,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
+    use crate::functional::eval_comb;
+
+    let load = LoadModel::build(nl, lib, parasitics);
+    let n_cycles = input_vectors.len();
+    let spc = cfg.samples_per_cycle;
+    let regs: Vec<(NetId, NetId)> = nl
+        .gates()
+        .iter()
+        .filter(|g| g.kind == secflow_netlist::GateKind::Seq)
+        .map(|g| (g.inputs[0], g.outputs[0]))
+        .collect();
+    let mut reg_state = vec![false; regs.len()];
+    let mut prev_values = vec![false; nl.net_count()];
+    // Consistent initial state (inverters settle high).
+    {
+        let forced: Vec<(NetId, bool)> = Vec::new();
+        prev_values = eval_comb(nl, lib, &forced);
+    }
+
+    let mut result = SimResult {
+        trace: vec![0.0; n_cycles * spc],
+        cycle_energy_fj: Vec::with_capacity(n_cycles),
+        cycle_rises: Vec::with_capacity(n_cycles),
+        outputs_per_cycle: Vec::with_capacity(n_cycles),
+        wddl_alarms: Vec::new(),
+        waveform: Vec::new(),
+    };
+    let exempt: Vec<bool> = nl
+        .net_ids()
+        .map(|id| nl.inputs().contains(&id))
+        .collect();
+
+    for (c, vector) in input_vectors.iter().enumerate() {
+        assert_eq!(vector.len(), nl.inputs().len());
+        let mut forced: Vec<(NetId, bool)> = nl
+            .inputs()
+            .iter()
+            .copied()
+            .zip(vector.iter().copied())
+            .collect();
+        for ((_, q), &v) in regs.iter().zip(&reg_state) {
+            forced.push((*q, v));
+        }
+        let values = eval_comb(nl, lib, &forced);
+        let mut energy = 0.0;
+        let mut rises = 0u64;
+        for id in nl.net_ids() {
+            let i = id.index();
+            if values[i] && !prev_values[i] && !exempt[i] {
+                energy += load.c_eff_ff[i] * cfg.vdd * cfg.vdd;
+                rises += 1;
+            }
+        }
+        // Deposit the charge over the first quarter of the cycle.
+        let bins = (spc / 4).max(1);
+        for b in 0..bins {
+            result.trace[c * spc + b] += energy / cfg.vdd / bins as f64;
+        }
+        for (i, (d, _)) in regs.iter().enumerate() {
+            reg_state[i] = values[d.index()];
+        }
+        result.cycle_energy_fj.push(energy);
+        result.cycle_rises.push(rises);
+        result
+            .outputs_per_cycle
+            .push(nl.outputs().iter().map(|&o| values[o.index()]).collect());
+        prev_values = values;
+    }
+    if cfg.noise_sigma > 0.0 {
+        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
+    }
+    result
+}
+
+#[cfg(test)]
+mod glitch_free_tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+
+    #[test]
+    fn glitch_free_matches_functional_outputs() {
+        let mut nl = Netlist::new("gf");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        nl.add_gate("g0", "XOR2", GateKind::Comb, vec![a, b], vec![y]);
+        nl.add_gate("r0", "DFF", GateKind::Seq, vec![y], vec![q]);
+        nl.mark_output(q);
+        let lib = Library::lib180();
+        let cfg = SimConfig {
+            samples_per_cycle: 40,
+            ..Default::default()
+        };
+        let vectors = vec![
+            vec![true, false],
+            vec![true, true],
+            vec![false, true],
+            vec![false, true],
+            vec![false, true],
+        ];
+        let r = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors);
+        let qs: Vec<bool> = r.outputs_per_cycle.iter().map(|o| o[0]).collect();
+        assert_eq!(qs, vec![false, true, false, true, true]);
+        // Fully settled last cycle (inputs and state unchanged): zero
+        // energy.
+        assert_eq!(*r.cycle_energy_fj.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn glitch_free_energy_is_a_lower_bound() {
+        // Event-driven simulation of a glitchy cone must draw at least
+        // as much energy as the glitch-free model.
+        let mut nl = Netlist::new("gl");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "XOR2", GateKind::Comb, vec![a, b], vec![x]);
+        nl.add_gate("g1", "AND2", GateKind::Comb, vec![x, c], vec![y]);
+        nl.mark_output(y);
+        let lib = Library::lib180();
+        let cfg = SimConfig {
+            samples_per_cycle: 40,
+            ..Default::default()
+        };
+        let vectors: Vec<Vec<bool>> = (0..16u32)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1])
+            .collect();
+        let ev = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
+        let gf = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors);
+        let ev_total: f64 = ev.cycle_energy_fj.iter().sum();
+        let gf_total: f64 = gf.cycle_energy_fj.iter().sum();
+        assert!(ev_total >= gf_total * 0.999, "{ev_total} < {gf_total}");
+    }
+}
+
+#[cfg(test)]
+mod crosstalk_tests {
+    use super::*;
+    use secflow_extract::{NetParasitics, Parasitics};
+    use secflow_netlist::GateKind;
+
+    /// `x = BUF(a)` and `y = INV(b)` with capacitively coupled
+    /// outputs. The INV is faster than the BUF, so y's transition
+    /// always commits before x's — deterministic crosstalk windows.
+    fn coupled_fixture(cc: f64) -> (Netlist, Parasitics) {
+        let mut nl = Netlist::new("xt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "BUF", GateKind::Comb, vec![a], vec![x]);
+        nl.add_gate("g1", "INV", GateKind::Comb, vec![b], vec![y]);
+        nl.mark_output(x);
+        nl.mark_output(y);
+        let mut nets = vec![NetParasitics::default(); nl.net_count()];
+        nets[x.index()].c_ground_ff = 10.0;
+        nets[y.index()].c_ground_ff = 10.0;
+        if cc > 0.0 {
+            nets[x.index()].couplings.push((y, cc));
+            nets[y.index()].couplings.push((x, cc));
+        }
+        (nl, Parasitics { nets })
+    }
+
+    fn cycle1_energy(nl: &Netlist, par: &Parasitics, vectors: Vec<Vec<bool>>) -> f64 {
+        let lib = Library::lib180();
+        let cfg = SimConfig {
+            samples_per_cycle: 40,
+            ..Default::default()
+        };
+        simulate_single_ended(nl, &lib, Some(par), &cfg, &vectors).cycle_energy_fj[1]
+    }
+
+    #[test]
+    fn miller_doubling_on_opposite_transitions() {
+        let (nl, par) = coupled_fixture(4.0);
+        let vdd2 = 1.8f64 * 1.8;
+        // Quiet neighbour: only x rises (b stays 0, y stays 1).
+        let quiet = cycle1_energy(&nl, &par, vec![vec![false, false], vec![true, false]]);
+        // Opposite: x rises while y falls just before it (b: 0 -> 1).
+        let miller = cycle1_energy(&nl, &par, vec![vec![false, false], vec![true, true]]);
+        // The Miller effect adds exactly cc * Vdd^2 on x's rise.
+        let delta = miller - quiet;
+        assert!(
+            (delta - 4.0 * vdd2).abs() < 0.5,
+            "Miller delta {delta}, expected {}",
+            4.0 * vdd2
+        );
+    }
+
+    #[test]
+    fn same_direction_switching_saves_coupling_charge() {
+        let (nl, par) = coupled_fixture(4.0);
+        let vdd2 = 1.8f64 * 1.8;
+        // Both rise: x rises (a: 0 -> 1), y rises (b: 1 -> 0 through
+        // the INV, committing first).
+        let same = cycle1_energy(&nl, &par, vec![vec![false, true], vec![true, false]]);
+        // Independent single rises, neighbour quiet each time.
+        let x_only = cycle1_energy(&nl, &par, vec![vec![false, false], vec![true, false]]);
+        let y_only = cycle1_energy(&nl, &par, vec![vec![false, true], vec![false, false]]);
+        // Moving together saves cc * Vdd^2 relative to the sum.
+        let saving = x_only + y_only - same;
+        assert!(
+            (saving - 4.0 * vdd2).abs() < 0.5,
+            "saving {saving}, expected {}",
+            4.0 * vdd2
+        );
+    }
+}

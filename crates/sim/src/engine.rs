@@ -1,0 +1,407 @@
+//! The event-driven simulation core: inertial gate delays, charge
+//! deposits on rising transitions, crosstalk adjustment.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use secflow_cells::{CellFunction, Library, TruthTable};
+use secflow_netlist::{Gate, GateId, GateKind, NetId, Netlist};
+
+use crate::config::SimConfig;
+use crate::load::LoadModel;
+
+/// True if `gate` is a WDDL register (sequential, dual-rail: two
+/// inputs `(Dt, Df)` and two outputs `(Qt, Qf)`).
+pub fn is_wddl_register(gate: &Gate) -> bool {
+    gate.kind == GateKind::Seq && gate.outputs.len() == 2 && gate.inputs.len() == 2
+}
+
+/// Per-gate resolved simulation behaviour.
+#[derive(Debug, Clone)]
+enum CellSim {
+    Comb {
+        tt: TruthTable,
+        intrinsic_ps: f64,
+        drive_kohm: f64,
+    },
+    Dff,
+    WddlDff,
+    Tie(bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    order: u64,
+    net: NetId,
+    value: bool,
+    /// Cancellation ticket: for gate-driven events, must match the
+    /// gate's current sequence number.
+    gate: Option<(GateId, u64)>,
+}
+
+/// The event-driven engine. Drivers inject net-change events at
+/// absolute times and advance simulated time with
+/// [`Engine::run_until`].
+pub(crate) struct Engine<'a> {
+    nl: &'a Netlist,
+    load: &'a LoadModel,
+    cfg: &'a SimConfig,
+    cells: Vec<CellSim>,
+    values: Vec<bool>,
+    /// Monotonic tie-break counter for deterministic event order.
+    order: u64,
+    /// Per-gate cancellation sequence.
+    gate_seq: Vec<u64>,
+    /// Value the gate's pending output event will establish.
+    pending: Vec<Option<bool>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    /// Last transition per net: (time, new value).
+    last_transition: Vec<Option<(u64, bool)>>,
+    /// Nets whose transitions draw no supply current (primary inputs —
+    /// the paper excludes the input-driver circuitry from its
+    /// measurements).
+    exempt: Vec<bool>,
+    /// Supply-current trace: charge (fC) per sample bin.
+    pub trace: Vec<f64>,
+    /// Net transitions `(time, net, new value)`, recorded when
+    /// [`SimConfig::record_waveform`] is set.
+    pub waveform: Vec<(u64, NetId, bool)>,
+    /// Energy drawn since the last [`Engine::take_energy`] call, in fJ.
+    energy_fj: f64,
+    /// Total rising transitions since the last take (activity metric).
+    rising_events: u64,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        nl: &'a Netlist,
+        lib: &Library,
+        load: &'a LoadModel,
+        cfg: &'a SimConfig,
+        n_cycles: usize,
+    ) -> Self {
+        let cells = nl
+            .gates()
+            .iter()
+            .map(|g| {
+                let cell = lib
+                    .by_name(&g.cell)
+                    .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell));
+                match cell.function() {
+                    CellFunction::Comb(tt) => CellSim::Comb {
+                        tt: *tt,
+                        intrinsic_ps: cell.intrinsic_delay_ps(),
+                        drive_kohm: cell.drive_kohm(),
+                    },
+                    CellFunction::Dff if is_wddl_register(g) => CellSim::WddlDff,
+                    CellFunction::Dff => CellSim::Dff,
+                    CellFunction::WddlDff => CellSim::WddlDff,
+                    CellFunction::Tie(v) => CellSim::Tie(*v),
+                }
+            })
+            .collect();
+        let mut exempt = vec![false; nl.net_count()];
+        for &i in nl.inputs() {
+            exempt[i.index()] = true;
+        }
+        Engine {
+            nl,
+            load,
+            cfg,
+            cells,
+            values: vec![false; nl.net_count()],
+            order: 0,
+            gate_seq: vec![0; nl.gate_count()],
+            pending: vec![None; nl.gate_count()],
+            queue: BinaryHeap::new(),
+            last_transition: vec![None; nl.net_count()],
+            exempt,
+            trace: vec![0.0; n_cycles * cfg.samples_per_cycle],
+            waveform: Vec::new(),
+            energy_fj: 0.0,
+            rising_events: 0,
+        }
+    }
+
+    /// Current logical value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Establishes a consistent initial state by zero-delay evaluation
+    /// in topological order, without recording any power.
+    pub fn settle_initial(&mut self) {
+        let order = secflow_netlist::topo_order(self.nl).expect("acyclic netlist");
+        for gid in order {
+            match &self.cells[gid.index()] {
+                CellSim::Tie(v) => {
+                    let out = self.nl.gate(gid).outputs[0];
+                    self.values[out.index()] = *v;
+                }
+                CellSim::Comb { tt, .. } => {
+                    let g = self.nl.gate(gid);
+                    let mut idx = 0u32;
+                    for (i, &inp) in g.inputs.iter().enumerate() {
+                        if self.values[inp.index()] {
+                            idx |= 1 << i;
+                        }
+                    }
+                    let v = tt.eval(idx);
+                    self.values[g.outputs[0].index()] = v;
+                }
+                // Registers start at 0 (reset state).
+                CellSim::Dff | CellSim::WddlDff => {}
+            }
+        }
+    }
+
+    /// Injects an externally driven net change (primary input or
+    /// register output) at absolute time `time`.
+    pub fn inject(&mut self, net: NetId, time: u64, value: bool) {
+        self.order += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            order: self.order,
+            net,
+            value,
+            gate: None,
+        }));
+    }
+
+    /// Processes all events strictly before `t_end`.
+    pub fn run_until(&mut self, t_end: u64) {
+        while let Some(&Reverse(ev)) = self.queue.peek() {
+            if ev.time >= t_end {
+                break;
+            }
+            self.queue.pop();
+            // Stale gate event?
+            if let Some((g, seq)) = ev.gate {
+                if self.gate_seq[g.index()] != seq {
+                    continue;
+                }
+                self.pending[g.index()] = None;
+            }
+            if self.values[ev.net.index()] == ev.value {
+                self.last_transition[ev.net.index()] = Some((ev.time, ev.value));
+                continue;
+            }
+            self.values[ev.net.index()] = ev.value;
+            self.last_transition[ev.net.index()] = Some((ev.time, ev.value));
+            if self.cfg.record_waveform {
+                self.waveform.push((ev.time, ev.net, ev.value));
+            }
+            if ev.value && !self.exempt[ev.net.index()] {
+                self.record_rise(ev.net, ev.time);
+            }
+            // Re-evaluate fanout gates.
+            let sinks: Vec<GateId> = self
+                .nl
+                .net(ev.net)
+                .sinks
+                .iter()
+                .map(|s| s.gate)
+                .collect();
+            for g in sinks {
+                self.evaluate_gate(g, ev.time);
+            }
+        }
+    }
+
+    fn evaluate_gate(&mut self, gid: GateId, now: u64) {
+        let CellSim::Comb {
+            tt,
+            intrinsic_ps,
+            drive_kohm,
+        } = self.cells[gid.index()].clone()
+        else {
+            return; // registers are driven by the cycle driver
+        };
+        let g = self.nl.gate(gid);
+        let out = g.outputs[0];
+        let mut idx = 0u32;
+        for (i, &inp) in g.inputs.iter().enumerate() {
+            if self.values[inp.index()] {
+                idx |= 1 << i;
+            }
+        }
+        let v = tt.eval(idx);
+        let effective = self.pending[gid.index()].unwrap_or(self.values[out.index()]);
+        if v == effective {
+            return;
+        }
+        // Cancel any pending opposite event (inertial filtering).
+        self.gate_seq[gid.index()] += 1;
+        self.pending[gid.index()] = None;
+        if v != self.values[out.index()] {
+            let delay = self.load.delay_ps(intrinsic_ps, drive_kohm, out).max(1.0) as u64;
+            self.order += 1;
+            self.pending[gid.index()] = Some(v);
+            self.queue.push(Reverse(Event {
+                time: now + delay,
+                order: self.order,
+                net: out,
+                value: v,
+                gate: Some((gid, self.gate_seq[gid.index()])),
+            }));
+        }
+    }
+
+    /// Records the supply charge of a rising transition on `net`.
+    fn record_rise(&mut self, net: NetId, time: u64) {
+        let mut q_fc = self.load.c_eff_ff[net.index()] * self.cfg.vdd;
+        // Crosstalk adjustment for coupled neighbours that switched
+        // within the simultaneity window.
+        for &(other, cc) in &self.load.couplings[net.index()] {
+            if let Some((t2, v2)) = self.last_transition[other.index()] {
+                if time.saturating_sub(t2) <= self.cfg.crosstalk_window_ps {
+                    if v2 {
+                        // Both rising: the coupling cap sees no swing.
+                        q_fc -= cc * self.cfg.vdd;
+                    } else {
+                        // Opposite transitions: Miller doubling.
+                        q_fc += cc * self.cfg.vdd;
+                    }
+                }
+            }
+        }
+        let q_fc = q_fc.max(0.0);
+        self.energy_fj += q_fc * self.cfg.vdd;
+        self.rising_events += 1;
+
+        // Spread the charge over the driver's RC time constant.
+        let r = self.load.drive_kohm[net.index()];
+        let c = self.load.c_eff_ff[net.index()];
+        let tau_ps = (2.0 * r * c).max(self.cfg.sample_ps());
+        let sample_ps = self.cfg.sample_ps();
+        let first = (time as f64 / sample_ps) as usize;
+        let nbins = (tau_ps / sample_ps).ceil().max(1.0) as usize;
+        let per_bin = q_fc / nbins as f64;
+        for b in first..(first + nbins).min(self.trace.len()) {
+            self.trace[b] += per_bin;
+        }
+    }
+
+    /// Returns and resets the accumulated energy (fJ) and rising-event
+    /// count.
+    pub fn take_energy(&mut self) -> (f64, u64) {
+        let e = (self.energy_fj, self.rising_events);
+        self.energy_fj = 0.0;
+        self.rising_events = 0;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow_netlist::GateKind;
+
+    fn engine_fixture() -> (Netlist, Library, SimConfig) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "AND2", GateKind::Comb, vec![a, b], vec![y]);
+        nl.mark_output(y);
+        (nl, Library::lib180(), SimConfig::default())
+    }
+
+    #[test]
+    fn rising_output_draws_charge() {
+        let (nl, lib, cfg) = engine_fixture();
+        let load = LoadModel::build(&nl, &lib, None);
+        let mut e = Engine::new(&nl, &lib, &load, &cfg, 1);
+        e.settle_initial();
+        let a = nl.net_by_name("a").unwrap();
+        let b = nl.net_by_name("b").unwrap();
+        e.inject(a, 100, true);
+        e.inject(b, 100, true);
+        e.run_until(8000);
+        let y = nl.net_by_name("y").unwrap();
+        assert!(e.value(y));
+        let (energy, rises) = e.take_energy();
+        assert!(energy > 0.0);
+        assert_eq!(rises, 1);
+        assert!(e.trace.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn primary_input_transitions_are_exempt() {
+        let (nl, lib, cfg) = engine_fixture();
+        let load = LoadModel::build(&nl, &lib, None);
+        let mut e = Engine::new(&nl, &lib, &load, &cfg, 1);
+        e.settle_initial();
+        let a = nl.net_by_name("a").unwrap();
+        e.inject(a, 100, true); // AND output stays 0
+        e.run_until(8000);
+        let (energy, rises) = e.take_energy();
+        assert_eq!(energy, 0.0);
+        assert_eq!(rises, 0);
+    }
+
+    #[test]
+    fn short_glitch_is_filtered_inertially() {
+        // Pulse shorter than the gate delay must not propagate.
+        let (nl, lib, cfg) = engine_fixture();
+        let load = LoadModel::build(&nl, &lib, None);
+        let mut e = Engine::new(&nl, &lib, &load, &cfg, 1);
+        e.settle_initial();
+        let a = nl.net_by_name("a").unwrap();
+        let b = nl.net_by_name("b").unwrap();
+        e.inject(b, 0, true);
+        e.inject(a, 100, true);
+        e.inject(a, 101, false); // 1 ps pulse, well under the delay
+        e.run_until(8000);
+        let y = nl.net_by_name("y").unwrap();
+        assert!(!e.value(y));
+        let (_, rises) = e.take_energy();
+        assert_eq!(rises, 0, "glitch leaked through");
+    }
+
+    #[test]
+    fn wide_pulse_produces_glitch_power() {
+        let (nl, lib, cfg) = engine_fixture();
+        let load = LoadModel::build(&nl, &lib, None);
+        let mut e = Engine::new(&nl, &lib, &load, &cfg, 1);
+        e.settle_initial();
+        let a = nl.net_by_name("a").unwrap();
+        let b = nl.net_by_name("b").unwrap();
+        e.inject(b, 0, true);
+        e.inject(a, 100, true);
+        e.inject(a, 2000, false); // long pulse: y rises then falls
+        e.run_until(8000);
+        let y = nl.net_by_name("y").unwrap();
+        assert!(!e.value(y));
+        let (energy, rises) = e.take_energy();
+        assert_eq!(rises, 1);
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn settle_handles_inverting_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![y]);
+        nl.mark_output(y);
+        let lib = Library::lib180();
+        let cfg = SimConfig::default();
+        let load = LoadModel::build(&nl, &lib, None);
+        let mut e = Engine::new(&nl, &lib, &load, &cfg, 1);
+        e.settle_initial();
+        assert!(e.value(y), "INV of 0 must settle to 1");
+    }
+
+    #[test]
+    fn wddl_register_detection() {
+        let mut nl = Netlist::new("t");
+        let dt = nl.add_input("dt");
+        let df = nl.add_input("df");
+        let qt = nl.add_net("qt");
+        let qf = nl.add_net("qf");
+        nl.add_gate("r0", "WDDLDFF", GateKind::Seq, vec![dt, df], vec![qt, qf]);
+        assert!(is_wddl_register(nl.gate(secflow_netlist::GateId(0))));
+    }
+}

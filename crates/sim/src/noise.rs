@@ -1,0 +1,57 @@
+//! Additive Gaussian measurement noise (Box–Muller on a seeded RNG).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma` to
+/// every sample of `trace`. Deterministic for a fixed `seed`.
+pub fn add_gaussian_noise(trace: &mut [f64], sigma: f64, seed: u64) {
+    if sigma <= 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut iter = trace.iter_mut();
+    while let Some(a) = iter.next() {
+        // Box–Muller transform produces two independent normals.
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        *a += sigma * r * theta.cos();
+        if let Some(b) = iter.next() {
+            *b += sigma * r * theta.sin();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let mut trace = vec![0.0; 100_000];
+        add_gaussian_noise(&mut trace, 2.0, 42);
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        let var = trace.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / trace.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_noop() {
+        let mut trace = vec![1.0, 2.0, 3.0];
+        add_gaussian_noise(&mut trace, 0.0, 1);
+        assert_eq!(trace, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        add_gaussian_noise(&mut a, 1.0, 7);
+        add_gaussian_noise(&mut b, 1.0, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! A synchronous sequential design: AIG + named ports + registers.
+
+use crate::aig::{Aig, Lit};
+
+/// A D-type register: its output is an AIG leaf, its next-state
+/// function an AIG literal. Registers reset to 0.
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Register (and output net) name.
+    pub name: String,
+    /// The AIG leaf literal representing the register output `Q`.
+    pub q: Lit,
+    /// The next-state function `D`.
+    pub next: Lit,
+}
+
+/// A synchronous design under synthesis: combinational logic in an
+/// [`Aig`], with named primary inputs, primary outputs and registers.
+///
+/// The implicit single clock drives every register; this mirrors the
+/// paper's synchronous design style (the clock is not represented as a
+/// logic net).
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Design name (becomes the netlist module name).
+    pub name: String,
+    /// The combinational logic.
+    pub aig: Aig,
+    /// Primary inputs: name and leaf literal, in declaration order.
+    pub inputs: Vec<(String, Lit)>,
+    /// Primary outputs: name and function literal.
+    pub outputs: Vec<(String, Lit)>,
+    /// Registers, in declaration order.
+    pub registers: Vec<Register>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Design {
+            name: name.into(),
+            aig: Aig::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            registers: Vec::new(),
+        }
+    }
+
+    /// Declares a primary input and returns its literal.
+    pub fn input(&mut self, name: impl Into<String>) -> Lit {
+        let l = self.aig.leaf();
+        self.inputs.push((name.into(), l));
+        l
+    }
+
+    /// Declares a bus of `width` primary inputs named `name[i]`,
+    /// LSB first.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<Lit> {
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Declares a primary output driven by `f`.
+    pub fn output(&mut self, name: impl Into<String>, f: Lit) {
+        self.outputs.push((name.into(), f));
+    }
+
+    /// Declares a bus of outputs named `name[i]`, LSB first.
+    pub fn output_bus(&mut self, name: &str, bits: &[Lit]) {
+        for (i, &b) in bits.iter().enumerate() {
+            self.output(format!("{name}[{i}]"), b);
+        }
+    }
+
+    /// Declares a register (output available immediately; next-state
+    /// set later with [`Design::set_next`]). Returns the `Q` literal.
+    pub fn register(&mut self, name: impl Into<String>) -> Lit {
+        let q = self.aig.leaf();
+        self.registers.push(Register {
+            name: name.into(),
+            q,
+            next: Lit::FALSE,
+        });
+        q
+    }
+
+    /// Declares a bus of `width` registers named `name[i]`, LSB first.
+    pub fn register_bus(&mut self, name: &str, width: usize) -> Vec<Lit> {
+        (0..width)
+            .map(|i| self.register(format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Sets the next-state function of the register whose output is
+    /// `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a register output literal.
+    pub fn set_next(&mut self, q: Lit, next: Lit) {
+        let r = self
+            .registers
+            .iter_mut()
+            .find(|r| r.q == q)
+            .expect("literal is not a register output");
+        r.next = next;
+    }
+
+    /// Sets next-state functions for a register bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any `q` is not a
+    /// register output.
+    pub fn set_next_bus(&mut self, qs: &[Lit], nexts: &[Lit]) {
+        assert_eq!(qs.len(), nexts.len());
+        for (&q, &n) in qs.iter().zip(nexts) {
+            self.set_next(q, n);
+        }
+    }
+
+    /// All root literals that must be realized by mapping: primary
+    /// outputs and register next-state functions.
+    pub fn roots(&self) -> Vec<Lit> {
+        self.outputs
+            .iter()
+            .map(|(_, l)| *l)
+            .chain(self.registers.iter().map(|r| r.next))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_counter_design() {
+        let mut d = Design::new("cnt");
+        let q = d.register_bus("q", 2);
+        // 2-bit increment: q0' = !q0; q1' = q1 ^ q0
+        let n0 = q[0].not();
+        let n1 = d.aig.xor(q[1], q[0]);
+        d.set_next_bus(&q, &[n0, n1]);
+        d.output_bus("count", &q);
+        assert_eq!(d.registers.len(), 2);
+        assert_eq!(d.outputs.len(), 2);
+        assert_eq!(d.roots().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a register output")]
+    fn set_next_on_input_panics() {
+        let mut d = Design::new("x");
+        let a = d.input("a");
+        d.set_next(a, Lit::FALSE);
+    }
+
+    #[test]
+    fn buses_are_lsb_first() {
+        let mut d = Design::new("b");
+        let bus = d.input_bus("in", 3);
+        assert_eq!(d.inputs[0].0, "in[0]");
+        assert_eq!(d.inputs[2].0, "in[2]");
+        assert_eq!(bus.len(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Logic synthesis: from a technology-independent boolean network to a
+//! mapped gate-level netlist.
+//!
+//! This crate stands in for the commercial synthesis tool
+//! (DesignAnalyzer) in the paper's flow. It provides:
+//!
+//! * [`Aig`] — an And-Inverter Graph with complemented edges and
+//!   structural hashing (constant folding and common-subexpression
+//!   elimination happen on construction);
+//! * [`Design`] — a synchronous sequential design: an AIG plus named
+//!   primary inputs/outputs and D-type registers;
+//! * [`map_design`] — a cut-based technology mapper producing a
+//!   [`secflow_netlist::Netlist`] over a [`secflow_cells::Library`],
+//!   honouring a cell allowlist ([`MapOptions`], the paper's synthesis
+//!   `script` constraints);
+//! * a bit-parallel functional simulator for verification.
+//!
+//! # Example
+//!
+//! ```
+//! use secflow_synth::{Design, MapOptions, map_design};
+//! use secflow_cells::Library;
+//!
+//! let mut d = Design::new("toy");
+//! let a = d.input("a");
+//! let b = d.input("b");
+//! let y = d.aig.and(a, b);
+//! d.output("y", y);
+//! let lib = Library::lib180();
+//! let nl = map_design(&d, &lib, &MapOptions::default()).unwrap();
+//! assert!(nl.validate().is_ok());
+//! ```
+
+mod aig;
+mod design;
+mod eval;
+mod map;
+
+pub use aig::{Aig, Lit, NodeId};
+pub use design::{Design, Register};
+pub use eval::{simulate_comb, simulate_seq, SeqState};
+pub use map::{map_design, MapError, MapOptions};

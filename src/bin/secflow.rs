@@ -1,0 +1,220 @@
+//! The push-button secure design flow CLI — Fig. 1 as a command.
+//!
+//! Reads a mapped structural-Verilog netlist (the paper's `rtl.v`,
+//! the output of logic synthesis), runs the chosen flow's backend and
+//! writes all the flow artifacts to an output directory:
+//!
+//! ```text
+//! secflow <rtl.v> --secure --out build/
+//!   build/fat.v        the fat netlist (cell substitution output)
+//!   build/diff.v       the differential WDDL netlist
+//!   build/fat.def      the routed fat design
+//!   build/diff.def     the decomposed differential design
+//!   build/fat_lib.lef  fat cell abstracts
+//!   build/diff_lib.lef differential library abstracts
+//!   build/lib.lib      the base library (Liberty-like)
+//!   build/report.txt   metrics, timings and verification results
+//! ```
+//!
+//! `--regular` runs the reference flow instead (`layout.def` +
+//! report). Options: `--fill <f>`, `--aspect <r>`, `--layers <n>`,
+//! `--seed <n>`, `--spaced`, `--shielded`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use secflow::cells::Library;
+use secflow::flow::{
+    run_regular_backend, run_secure_backend, DecomposeStyle, FlowOptions, FlowReport,
+};
+use secflow::netlist::{parse_verilog, write_verilog};
+use secflow::pnr::write_def;
+
+struct Args {
+    input: PathBuf,
+    out: PathBuf,
+    secure: bool,
+    opts: FlowOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: secflow <rtl.v> [--secure|--regular] [--out DIR] [--fill F] [--aspect R]\n\
+         \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut out = PathBuf::from("build");
+    let mut secure = true;
+    let mut opts = FlowOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--secure" => secure = true,
+            "--regular" => secure = false,
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--fill" => {
+                opts.fill_factor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--aspect" => {
+                opts.aspect_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--layers" => {
+                opts.route.layers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--spaced" => opts.decompose_style = DecomposeStyle::Spaced,
+            "--shielded" => opts.decompose_style = DecomposeStyle::Shielded,
+            "--no-verify" => opts.verify = false,
+            "--help" | "-h" => usage(),
+            _ if input.is_none() && !a.starts_with('-') => input = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    Args {
+        input: input.unwrap_or_else(|| usage()),
+        out,
+        secure,
+        opts,
+    }
+}
+
+fn render_report(kind: &str, r: &FlowReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("secflow {kind} flow report\n"));
+    s.push_str(&format!("netlist: {}\n", r.stats));
+    s.push_str(&format!("die area: {:.1} um^2\n", r.die_area_um2));
+    s.push_str(&format!("cell area: {:.1} um^2\n", r.cell_area_um2));
+    s.push_str(&format!(
+        "wirelength: {} tracks, {} vias\n",
+        r.wirelength_tracks, r.vias
+    ));
+    s.push_str(&format!("critical path: {:.0} ps\n", r.critical_path_ps));
+    if let Some(c) = &r.clock {
+        s.push_str(&format!(
+            "clock tree: {} sinks, {} buffers, skew {:.1} ps, load {:.1} fF\n",
+            c.sinks, c.buffers, c.skew_ps, c.total_cap_ff
+        ));
+    }
+    if let Some(lec) = r.lec_equivalent {
+        s.push_str(&format!("equivalence check: {lec}\n"));
+    }
+    if let Some(mm) = r.mean_pair_mismatch {
+        s.push_str(&format!(
+            "differential-pair mismatch: mean {:.2}%, max {:.2}%\n",
+            mm * 100.0,
+            r.max_pair_mismatch.unwrap_or(0.0) * 100.0
+        ));
+    }
+    s.push_str(&format!(
+        "stage times (ms): synth {:.0}, substitute {:.0}, place {:.0}, route {:.0}, \
+         decompose {:.0}, extract {:.0}, verify {:.0}\n",
+        r.synth_ms,
+        r.substitute_ms,
+        r.place_ms,
+        r.route_ms,
+        r.decompose_ms,
+        r.extract_ms,
+        r.verify_ms
+    ));
+    s
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let lib = Library::lib180();
+
+    let text = match fs::read_to_string(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let netlist = match parse_verilog(&text, &lib.seq_cell_names()) {
+        Ok(nl) => nl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = netlist.validate() {
+        eprintln!("error: input netlist invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let write = |name: &str, data: &str| {
+        let path = args.out.join(name);
+        fs::write(&path, data).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", path.display());
+    };
+    write("lib.lib", &lib.to_liberty("lib180"));
+
+    if args.secure {
+        let result = match run_secure_backend(netlist, &lib, &args.opts, 0.0) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        write("fat.v", &write_verilog(&result.substitution.fat));
+        write("diff.v", &write_verilog(&result.substitution.differential));
+        write(
+            "fat.def",
+            &write_def(&result.fat_routed, &result.substitution.fat),
+        );
+        write(
+            "diff.def",
+            &write_def(&result.decomposed, &result.substitution.differential),
+        );
+        write(
+            "fat_lib.lef",
+            &result.substitution.fat_lib.to_lef("fat_lib", 2),
+        );
+        write(
+            "diff_lib.lef",
+            &result.substitution.diff_lib.to_lef("diff_lib", 1),
+        );
+        let report = render_report("secure", &result.report);
+        write("report.txt", &report);
+        print!("{report}");
+    } else {
+        let result = match run_regular_backend(netlist, &lib, &args.opts, 0.0) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        write("layout.def", &write_def(&result.routed, &result.netlist));
+        let report = render_report("regular", &result.report);
+        write("report.txt", &report);
+        print!("{report}");
+    }
+    ExitCode::SUCCESS
+}

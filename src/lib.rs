@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the whole secure-design-flow workspace.
+pub use secflow_cells as cells;
+pub use secflow_core as flow;
+pub use secflow_crypto as crypto;
+pub use secflow_dpa as dpa;
+pub use secflow_extract as extract;
+pub use secflow_lec as lec;
+pub use secflow_netlist as netlist;
+pub use secflow_pnr as pnr;
+pub use secflow_sim as sim;
+pub use secflow_synth as synth;

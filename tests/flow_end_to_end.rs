@@ -1,0 +1,167 @@
+//! End-to-end integration tests: the Fig. 4 DES module through both
+//! flows, with all verification steps and artifact round trips.
+
+use std::sync::OnceLock;
+
+use secflow::cells::Library;
+use secflow::crypto::dpa_module::des_dpa_design;
+use secflow::flow::{
+    run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,
+};
+use secflow::netlist::{parse_verilog, structurally_equal, write_verilog};
+use secflow::pnr::{parse_def, write_def};
+
+fn options() -> FlowOptions {
+    FlowOptions {
+        // Keep placement effort modest so the test stays quick.
+        anneal_moves_per_gate: 40,
+        ..Default::default()
+    }
+}
+
+/// Both flows are expensive; run each once and share across tests.
+fn regular() -> &'static RegularFlowResult {
+    static CELL: OnceLock<RegularFlowResult> = OnceLock::new();
+    CELL.get_or_init(|| {
+        run_regular_flow(&des_dpa_design(), &Library::lib180(), &options())
+            .expect("regular flow")
+    })
+}
+
+fn secure() -> &'static SecureFlowResult {
+    static CELL: OnceLock<SecureFlowResult> = OnceLock::new();
+    CELL.get_or_init(|| {
+        run_secure_flow(&des_dpa_design(), &Library::lib180(), &options())
+            .expect("secure flow")
+    })
+}
+
+#[test]
+fn regular_flow_on_des_module() {
+    let r = regular();
+    assert!(r.netlist.validate().is_ok());
+    assert!(r.report.die_area_um2 > 1000.0);
+    assert!(r.report.wirelength_tracks > 0);
+    // Every routed net got parasitics.
+    assert!(r.parasitics.total_wire_cap_ff() > 0.0);
+}
+
+#[test]
+fn secure_flow_on_des_module_with_verification() {
+    let s = secure();
+    // The Formality step: fat netlist equivalent to the original.
+    assert_eq!(s.report.lec_equivalent, Some(true));
+    // WDDL structure.
+    assert!(s.substitution.differential.validate().is_ok());
+    assert!(s.substitution.fat.validate().is_ok());
+    assert!(s.substitution.wddl.len() >= 4);
+    // Matched pairs.
+    let mean_mm = s.report.mean_pair_mismatch.expect("secure flow reports mismatch");
+    assert!(mean_mm < 0.25, "mean pair mismatch {mean_mm}");
+}
+
+#[test]
+fn area_and_energy_ordering_matches_paper() {
+    let reg = regular();
+    let sec = secure();
+    let ratio = sec.report.die_area_um2 / reg.report.die_area_um2;
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "area ratio {ratio} outside the plausible band around the paper's 3.4x"
+    );
+    // The differential netlist has strictly more cell area.
+    assert!(sec.report.cell_area_um2 > reg.report.cell_area_um2);
+}
+
+#[test]
+fn def_artifacts_round_trip() {
+    let s = secure();
+
+    // fat.def
+    let text = write_def(&s.fat_routed, &s.substitution.fat);
+    let parsed = parse_def(&text, &s.substitution.fat).expect("parse fat.def");
+    assert_eq!(parsed.placed.cells, s.fat_routed.placed.cells);
+    assert_eq!(parsed.nets, s.fat_routed.nets);
+
+    // diff.def
+    let text = write_def(&s.decomposed, &s.substitution.differential);
+    let parsed = parse_def(&text, &s.substitution.differential).expect("parse diff.def");
+    assert_eq!(parsed.nets.len(), s.decomposed.nets.len());
+    assert_eq!(
+        parsed.placed.input_pads,
+        s.decomposed.placed.input_pads
+    );
+}
+
+#[test]
+fn verilog_artifacts_round_trip() {
+    let s = secure();
+
+    for (nl, seq_cells) in [
+        (&s.mapped, vec!["DFF"]),
+        (&s.substitution.fat, vec!["W_DFF", "W_DFFN"]),
+        (&s.substitution.differential, vec!["WDDLDFF"]),
+    ] {
+        let text = write_verilog(nl);
+        let parsed = parse_verilog(&text, &seq_cells).expect("parse");
+        assert!(
+            structurally_equal(nl, &parsed),
+            "round trip broke `{}`",
+            nl.name
+        );
+    }
+}
+
+#[test]
+fn decomposition_geometry_invariants() {
+    let s = secure();
+    // Rails come in pairs: identical shape, (+1, +1) offset.
+    assert_eq!(s.decomposed.nets.len(), 2 * s.fat_routed.nets.len());
+    for pair in s.decomposed.nets.chunks(2) {
+        let (t, f) = (&pair[0], &pair[1]);
+        assert_eq!(t.wirelength(), f.wirelength());
+        assert_eq!(t.segments.len(), f.segments.len());
+        for (st, sf) in t.segments.iter().zip(&f.segments) {
+            assert_eq!(sf.a.x - st.a.x, 1);
+            assert_eq!(sf.a.y - st.a.y, 1);
+            assert_eq!(st.a.layer, sf.a.layer);
+        }
+    }
+    // Total differential wirelength = 2 rails x 2 tracks per fat unit.
+    assert_eq!(
+        s.decomposed.total_wirelength(),
+        4 * s.fat_routed.total_wirelength()
+    );
+}
+
+#[test]
+fn both_flows_close_timing_at_125_mhz() {
+    let cfg = secflow::sim::SimConfig::default();
+    // Single-ended budget: full period minus clk-to-q and input delay.
+    let budget = (cfg.period_ps - cfg.clk2q_ps - cfg.input_delay_ps) as f64;
+    assert!(
+        regular().report.critical_path_ps < budget,
+        "reference critical path {} ps",
+        regular().report.critical_path_ps
+    );
+    // WDDL budget: the evaluation phase only.
+    let wddl_budget = (cfg.period_ps - cfg.eval_start_ps() - cfg.clk2q_ps) as f64;
+    assert!(
+        secure().report.critical_path_ps < wddl_budget,
+        "secure critical path {} ps exceeds the {} ps evaluation phase",
+        secure().report.critical_path_ps,
+        wddl_budget
+    );
+}
+
+#[test]
+fn clock_trees_are_synthesized() {
+    let rc = regular().report.clock.as_ref().expect("DES module has registers");
+    let sc = secure().report.clock.as_ref().expect("secure flow clock");
+    assert_eq!(rc.sinks, 20, "PL+PR+CL+CR = 20 registers");
+    assert_eq!(sc.sinks, 20, "fat registers, one per original");
+    assert!(rc.skew_ps >= 0.0 && sc.skew_ps >= 0.0);
+    assert!(rc.buffers > 0 && sc.buffers > 0);
+    // The WDDL register pair presents twice the clock-pin load.
+    assert!(sc.total_cap_ff > rc.total_cap_ff);
+}

@@ -1,0 +1,126 @@
+//! Cross-crate WDDL invariant checks on a variety of designs: the
+//! substitution must always produce an equivalent fat netlist, a
+//! precharging differential netlist, and complementary rails.
+
+use secflow::cells::Library;
+use secflow::crypto::des::sbox_circuit;
+use secflow::flow::{substitute, verify_precharge_wave, verify_rail_complementarity};
+use secflow::lec::check_equiv_with_parity;
+use secflow::netlist::Netlist;
+use secflow::synth::{map_design, Design, MapOptions};
+
+fn designs() -> Vec<Design> {
+    let mut out = Vec::new();
+
+    // A 4-bit counter with enable.
+    let mut d = Design::new("counter");
+    let en = d.input("en");
+    let q = d.register_bus("q", 4);
+    let mut carry = en;
+    for &qi in &q {
+        let next = d.aig.xor(qi, carry);
+        carry = d.aig.and(carry, qi);
+        d.set_next(qi, next);
+    }
+    d.output_bus("count", &q);
+    out.push(d);
+
+    // DES S-box 3 (pure combinational, inversion-heavy after mapping).
+    let mut d = Design::new("sbox3");
+    let ins = d.input_bus("x", 6);
+    let aig_out = sbox_circuit(&mut d.aig, 2, &ins);
+    d.output_bus("y", &aig_out);
+    out.push(d);
+
+    // A comparator with constants.
+    let mut d = Design::new("cmp");
+    let a = d.input_bus("a", 3);
+    let b = d.input_bus("b", 3);
+    let mut eq = secflow::synth::Lit::TRUE;
+    for (x, y) in a.iter().zip(&b) {
+        let bit_eq = {
+            let x = *x;
+            let y = *y;
+            let xo = d.aig.xor(x, y);
+            xo.not()
+        };
+        eq = d.aig.and(eq, bit_eq);
+    }
+    d.output("eq", eq);
+    d.output("always0", secflow::synth::Lit::FALSE);
+    out.push(d);
+
+    out
+}
+
+fn mapped(d: &Design, lib: &Library) -> Netlist {
+    map_design(d, lib, &MapOptions::default()).expect("mapping")
+}
+
+#[test]
+fn substitution_invariants_hold_across_designs() {
+    let lib = Library::lib180();
+    for d in designs() {
+        let nl = mapped(&d, &lib);
+        let sub = substitute(&nl, &lib)
+            .unwrap_or_else(|e| panic!("substitution of `{}` failed: {e}", d.name));
+
+        // 1. Structural validity.
+        sub.fat.validate().expect("fat netlist valid");
+        sub.differential.validate().expect("differential valid");
+
+        // 2. Fat netlist equivalent to original (Formality step).
+        let r = check_equiv_with_parity(
+            &nl,
+            &lib,
+            &sub.fat,
+            &sub.fat_lib,
+            Some(&sub.fat_output_parity),
+            Some(&sub.fat_register_parity),
+        )
+        .expect("LEC ran");
+        assert!(r.equivalent, "`{}`: fat netlist not equivalent: {r:?}", d.name);
+
+        // 3. The precharge wave reaches every net.
+        verify_precharge_wave(&sub)
+            .unwrap_or_else(|e| panic!("`{}`: {e}", d.name));
+
+        // 4. Rails complementary and outputs correct.
+        verify_rail_complementarity(&nl, &lib, &sub, 48, 5)
+            .unwrap_or_else(|e| panic!("`{}`: {e}", d.name));
+    }
+}
+
+#[test]
+fn fat_netlist_never_contains_inverters() {
+    let lib = Library::lib180();
+    for d in designs() {
+        let nl = mapped(&d, &lib);
+        let sub = substitute(&nl, &lib).expect("substitution");
+        let inv_count = nl.gates().iter().filter(|g| g.cell == "INV").count();
+        assert_eq!(sub.removed_inverters, inv_count, "`{}`", d.name);
+        assert!(
+            sub.fat.gates().iter().all(|g| g.cell != "INV"),
+            "`{}`: inverter survived substitution",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn differential_netlist_is_positive_logic_plus_registers() {
+    let lib = Library::lib180();
+    for d in designs() {
+        let nl = mapped(&d, &lib);
+        let sub = substitute(&nl, &lib).expect("substitution");
+        for g in sub.differential.gates() {
+            let ok = g.cell.starts_with("AND")
+                || g.cell.starts_with("OR")
+                || g.cell == "BUF"
+                || g.cell == "TIELO"
+                || g.cell == "TIEHI"
+                || g.cell == "WDDLDFF";
+            assert!(ok, "`{}`: non-positive cell {} in differential netlist", d.name, g.cell);
+        }
+    }
+}
