@@ -1,9 +1,18 @@
-//! Criterion micro-benchmarks of every flow stage: the two paper
-//! insertions (cell substitution, interconnect decomposition) plus
-//! synthesis, placement, routing, extraction, simulation and
-//! equivalence checking — the data behind the E8 runtime claims.
+//! Micro-benchmarks of every flow stage: the two paper insertions
+//! (cell substitution, interconnect decomposition) plus synthesis,
+//! placement, routing, extraction, simulation and equivalence
+//! checking — the data behind the E8 runtime claims.
+//!
+//! Runs on the in-repo median-of-K timing harness
+//! (`secflow_testkit::timing`); each measurement prints one JSON line:
+//!
+//! ```text
+//! {"bench":"cell_substitution/2000","median_ns":…,"min_ns":…,"max_ns":…,"k":5}
+//! ```
+//!
+//! Invoke with `cargo bench --offline` or
+//! `cargo bench --offline -- substitution` to filter by name.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use secflow_cells::Library;
@@ -16,22 +25,30 @@ use secflow_lec::check_equiv_with_parity;
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
 use secflow_sim::SimConfig;
 use secflow_synth::{map_design, MapOptions};
+use secflow_testkit::timing::bench;
 
-fn bench_substitution(c: &mut Criterion) {
+/// Median-of-K runs per measurement; small because the individual
+/// stages are long relative to timer noise.
+const K: usize = 5;
+
+fn bench_substitution(filter: &str) {
+    if !"cell_substitution".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
-    let mut group = c.benchmark_group("cell_substitution");
-    group.sample_size(10);
     for &gates in &[500usize, 2000, 8000] {
         let design = synthetic_design("sub", gates, 64, 3);
         let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &mapped, |b, nl| {
-            b.iter(|| substitute(black_box(nl), &lib).expect("substitute"));
+        bench(&format!("cell_substitution/{gates}"), K, || {
+            substitute(black_box(&mapped), &lib).expect("substitute");
         });
     }
-    group.finish();
 }
 
-fn bench_decomposition(c: &mut Criterion) {
+fn bench_decomposition(filter: &str) {
+    if !"interconnect_decomposition_des".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
     let design = des_dpa_design();
     let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
@@ -47,82 +64,67 @@ fn bench_decomposition(c: &mut Criterion) {
     );
     let routed = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default())
         .expect("route");
-    c.bench_function("interconnect_decomposition_des", |b| {
-        b.iter(|| decompose(black_box(&routed), &sub));
+    bench("interconnect_decomposition_des", K, || {
+        black_box(decompose(black_box(&routed), &sub));
     });
 }
 
-fn bench_pnr(c: &mut Criterion) {
+fn bench_pnr(filter: &str) {
+    if !"place_and_route_des".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
     let design = des_dpa_design();
     let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
-    let mut group = c.benchmark_group("place_and_route_des");
-    group.sample_size(10);
-    group.bench_function("placement", |b| {
-        b.iter(|| {
-            place(
-                black_box(&mapped),
-                &lib,
-                &PlaceOptions {
-                    anneal_moves_per_gate: 40,
-                    ..Default::default()
-                },
-            )
-        });
+    let opts = PlaceOptions {
+        anneal_moves_per_gate: 40,
+        ..Default::default()
+    };
+    bench("place_and_route_des/placement", K, || {
+        black_box(place(black_box(&mapped), &lib, &opts));
     });
-    let placed = place(
-        &mapped,
-        &lib,
-        &PlaceOptions {
-            anneal_moves_per_gate: 40,
-            ..Default::default()
-        },
-    );
-    group.bench_function("routing", |b| {
-        b.iter(|| {
-            route(
-                black_box(&mapped),
-                &lib,
-                &placed,
-                &RouteOptions::default(),
-            )
-            .expect("route")
-        });
+    let placed = place(&mapped, &lib, &opts);
+    bench("place_and_route_des/routing", K, || {
+        route(black_box(&mapped), &lib, &placed, &RouteOptions::default()).expect("route");
     });
-    group.finish();
 }
 
-fn bench_wddl_library(c: &mut Criterion) {
+fn bench_wddl_library(filter: &str) {
+    if !"wddl_derive_base_cells".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
-    c.bench_function("wddl_derive_base_cells", |b| {
-        b.iter(|| {
-            let mut w = WddlLibrary::new(black_box(&lib));
-            w.derive_base_cells()
-        });
+    bench("wddl_derive_base_cells", K, || {
+        let mut w = WddlLibrary::new(black_box(&lib));
+        black_box(w.derive_base_cells());
     });
 }
 
-fn bench_lec(c: &mut Criterion) {
+fn bench_lec(filter: &str) {
+    if !"lec_fat_vs_original_des".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
     let design = des_dpa_design();
     let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
     let sub = substitute(&mapped, &lib).expect("substitute");
-    c.bench_function("lec_fat_vs_original_des", |b| {
-        b.iter(|| {
-            check_equiv_with_parity(
-                black_box(&mapped),
-                &lib,
-                &sub.fat,
-                &sub.fat_lib,
-                Some(&sub.fat_output_parity),
-                Some(&sub.fat_register_parity),
-            )
-            .expect("lec")
-        });
+    bench("lec_fat_vs_original_des", K, || {
+        check_equiv_with_parity(
+            black_box(&mapped),
+            &lib,
+            &sub.fat,
+            &sub.fat_lib,
+            Some(&sub.fat_output_parity),
+            Some(&sub.fat_register_parity),
+        )
+        .expect("lec");
     });
 }
 
-fn bench_power_sim_and_attack(c: &mut Criterion) {
+fn bench_power_sim_and_attack(filter: &str) {
+    if !"dpa_pipeline".contains(filter) {
+        return;
+    }
     let lib = Library::lib180();
     let design = des_dpa_design();
     let secure = run_secure_flow(&design, &lib, &FlowOptions::default()).expect("flow");
@@ -135,27 +137,40 @@ fn bench_power_sim_and_attack(c: &mut Criterion) {
         lib: &secure.substitution.diff_lib,
         parasitics: Some(&secure.parasitics),
         wddl_inputs: Some(&secure.substitution.input_pairs),
-            glitch_free: false,
-        };
-    let mut group = c.benchmark_group("dpa_pipeline");
-    group.sample_size(10);
-    group.bench_function("simulate_50_encryptions_wddl", |b| {
-        b.iter(|| collect_des_traces(black_box(&target), &cfg, 46, 50, 1));
+        glitch_free: false,
+    };
+    bench("dpa_pipeline/simulate_50_encryptions_wddl", K, || {
+        black_box(collect_des_traces(black_box(&target), &cfg, 46, 50, 1));
     });
     let set = collect_des_traces(&target, &cfg, 46, 200, 1);
-    group.bench_function("dpa_attack_200_traces_64_keys", |b| {
-        b.iter(|| dpa_attack(black_box(&set.traces), 64, set.selector()));
+    bench("dpa_pipeline/dpa_attack_200_traces_64_keys", K, || {
+        black_box(dpa_attack(black_box(&set.traces), 64, set.selector()));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_substitution,
-    bench_decomposition,
-    bench_pnr,
-    bench_wddl_library,
-    bench_lec,
-    bench_power_sim_and_attack
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench -- <substring>` runs only matching groups; the
+    // harness also swallows libtest-style flags cargo may pass.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    const GROUPS: [&str; 6] = [
+        "cell_substitution",
+        "interconnect_decomposition_des",
+        "place_and_route_des",
+        "wddl_derive_base_cells",
+        "lec_fat_vs_original_des",
+        "dpa_pipeline",
+    ];
+    if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
+        eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
+        return;
+    }
+    bench_substitution(&filter);
+    bench_decomposition(&filter);
+    bench_pnr(&filter);
+    bench_wddl_library(&filter);
+    bench_lec(&filter);
+    bench_power_sim_and_attack(&filter);
+}

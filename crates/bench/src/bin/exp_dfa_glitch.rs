@@ -9,8 +9,7 @@
 //!
 //! Usage: `exp_dfa_glitch [n_cycles] [seed]` (defaults 60, 5).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_bench::{build_des_implementations, paper_sim_config};
 use secflow_dpa::dfa::glitch_sweep;

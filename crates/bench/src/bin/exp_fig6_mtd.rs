@@ -9,7 +9,9 @@
 //! traces at 2000 measurements — the correct key stands out only for
 //! the reference implementation.
 //!
-//! Usage: `exp_fig6_mtd [n_traces] [seed]` (defaults: 2000, 1).
+//! Usage: `exp_fig6_mtd [n_traces] [seed]` (defaults: 2000, 1), or
+//! `exp_fig6_mtd --smoke` for the CI gate: a 150-trace campaign that
+//! exercises the full build–simulate–attack pipeline in minutes.
 
 use secflow_bench::{build_des_implementations, header, paper_sim_config, row};
 use secflow_crypto::dpa_module::PAPER_KEY;
@@ -17,8 +19,12 @@ use secflow_dpa::attack::{dpa_attack, mtd_scan};
 use secflow_dpa::harness::collect_des_traces;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let mut args = args.into_iter();
+    let default_n = if smoke { 150 } else { 2000 };
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(default_n);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
     let step = (n / 40).max(10);
 

@@ -11,8 +11,7 @@
 //!
 //! Usage: `exp_timing_idle [n_cycles] [seed]` (defaults 400, 3).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_bench::{build_des_implementations, header, paper_sim_config, row};
 use secflow_dpa::timing::{idle_classification_accuracy, idle_visibility};

@@ -267,7 +267,6 @@ fn isop_rec(lower: TruthTable, upper: TruthTable, n: u8) -> Vec<Cube> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn basic_tables() {
@@ -347,17 +346,21 @@ mod tests {
         assert_eq!(one.to_truth_table(3), TruthTable::one(3));
     }
 
-    proptest! {
-        #[test]
-        fn isop_is_exact(n in 1u8..=5, bits: u64) {
-            let f = TruthTable::from_bits(n, bits);
+    #[test]
+    fn isop_is_exact() {
+        secflow_testkit::prop_check!(cases: 64, seed: 0x7701, |g| {
+            let n = g.random_range(1..6u8);
+            let f = TruthTable::from_bits(n, g.random());
             let cover = isop(&f);
-            prop_assert_eq!(cover.to_truth_table(n), f);
-        }
+            assert_eq!(cover.to_truth_table(n), f);
+        });
+    }
 
-        #[test]
-        fn isop_is_irredundant(n in 1u8..=4, bits: u64) {
-            let f = TruthTable::from_bits(n, bits);
+    #[test]
+    fn isop_is_irredundant() {
+        secflow_testkit::prop_check!(cases: 64, seed: 0x7702, |g| {
+            let n = g.random_range(1..5u8);
+            let f = TruthTable::from_bits(n, g.random());
             let cover = isop(&f);
             let cubes = cover.cubes();
             for skip in 0..cubes.len() {
@@ -368,30 +371,38 @@ mod tests {
                     .map(|(_, c)| *c)
                     .collect();
                 let g = Sop::new(n, reduced).to_truth_table(n);
-                prop_assert_ne!(g, f, "cube {} is redundant", skip);
+                assert_ne!(g, f, "cube {skip} is redundant");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn dual_is_involutive(n in 1u8..=5, bits: u64) {
-            let f = TruthTable::from_bits(n, bits);
-            prop_assert_eq!(f.dual().dual(), f);
-        }
+    #[test]
+    fn dual_is_involutive() {
+        secflow_testkit::prop_check!(cases: 64, seed: 0x7703, |g| {
+            let n = g.random_range(1..6u8);
+            let f = TruthTable::from_bits(n, g.random());
+            assert_eq!(f.dual().dual(), f);
+        });
+    }
 
-        #[test]
-        fn demorgan_holds(bits_a: u64, bits_b: u64) {
-            let a = TruthTable::from_bits(4, bits_a);
-            let b = TruthTable::from_bits(4, bits_b);
-            prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
-        }
+    #[test]
+    fn demorgan_holds() {
+        secflow_testkit::prop_check!(cases: 64, seed: 0x7704, |g| {
+            let a = TruthTable::from_bits(4, g.random());
+            let b = TruthTable::from_bits(4, g.random());
+            assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        });
+    }
 
-        #[test]
-        fn cofactor_shannon_expansion(n in 1u8..=5, bits: u64, v in 0u8..5) {
-            prop_assume!(v < n);
-            let f = TruthTable::from_bits(n, bits);
+    #[test]
+    fn cofactor_shannon_expansion() {
+        secflow_testkit::prop_check!(cases: 64, seed: 0x7705, |g| {
+            let n = g.random_range(1..6u8);
+            let v = g.random_range(0..n);
+            let f = TruthTable::from_bits(n, g.random());
             let x = TruthTable::var(n, v);
             let recon = x.not().and(&f.cofactor(v, false)).or(&x.and(&f.cofactor(v, true)));
-            prop_assert_eq!(recon, f);
-        }
+            assert_eq!(recon, f);
+        });
     }
 }

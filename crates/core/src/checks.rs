@@ -3,27 +3,12 @@
 
 use std::fmt;
 
-use rand_free::SplitMix;
 use secflow_cells::{CellFunction, Library};
 use secflow_netlist::{GateKind, NetId, Netlist};
+use secflow_rand::SplitMix;
 
 use crate::substitute::Substitution;
 use crate::wddl::WDDL_REGISTER;
-
-/// A tiny deterministic PRNG so this module needs no external RNG
-/// dependency (the checks are exhaustive for small designs anyway).
-mod rand_free {
-    pub struct SplitMix(pub u64);
-    impl SplitMix {
-        pub fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = self.0;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^ (z >> 31)
-        }
-    }
-}
 
 /// Violations of the WDDL invariants.
 #[derive(Debug, Clone, PartialEq, Eq)]

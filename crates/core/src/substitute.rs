@@ -541,23 +541,24 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use secflow_cells::Library;
     use secflow_synth::{map_design, Design, MapOptions};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        /// Substituting any random mapped design yields an equivalent
-        /// fat netlist and a correct, precharging differential netlist.
-        #[test]
-        fn substitution_is_correct_on_random_designs(
-            n_inputs in 2usize..=5,
-            n_regs in 0usize..=3,
-            steps in proptest::collection::vec(
-                (any::<u8>(), any::<u16>(), any::<u16>(), any::<bool>()),
-                1..24,
-            ),
-        ) {
+    /// Substituting any random mapped design yields an equivalent
+    /// fat netlist and a correct, precharging differential netlist.
+    #[test]
+    fn substitution_is_correct_on_random_designs() {
+        secflow_testkit::prop_check!(cases: 16, seed: 0x5AB5_0001, |g| {
+            let n_inputs = g.random_range(2..6usize);
+            let n_regs = g.random_range(0..4usize);
+            let steps = g.vec_with(1..24, |g| {
+                (
+                    g.random::<u8>(),
+                    g.random::<u16>(),
+                    g.random::<u16>(),
+                    g.random::<bool>(),
+                )
+            });
             let mut d = Design::new("rand");
             let mut pool: Vec<secflow_synth::Lit> = (0..n_inputs)
                 .map(|i| d.input(format!("i{i}")))
@@ -590,8 +591,8 @@ mod proptests {
             let mapped = map_design(&d, &lib, &MapOptions::default()).expect("map");
             let sub = substitute(&mapped, &lib).expect("substitute");
 
-            prop_assert!(sub.fat.validate().is_ok());
-            prop_assert!(sub.differential.validate().is_ok());
+            assert!(sub.fat.validate().is_ok());
+            assert!(sub.differential.validate().is_ok());
 
             let lec = secflow_lec::check_equiv_with_parity(
                 &mapped,
@@ -602,11 +603,11 @@ mod proptests {
                 Some(&sub.fat_register_parity),
             )
             .expect("lec runs");
-            prop_assert!(lec.equivalent, "{lec:?}");
+            assert!(lec.equivalent, "{lec:?}");
 
             crate::checks::verify_precharge_wave(&sub).expect("precharge");
             crate::checks::verify_rail_complementarity(&mapped, &lib, &sub, 16, 3)
                 .expect("rails");
-        }
+        });
     }
 }

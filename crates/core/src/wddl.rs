@@ -356,7 +356,7 @@ pub(crate) fn eval_cover(net: &CoverNet, rails_t: u32, rails_f: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use secflow_testkit::CaseResult;
 
     fn lib() -> WddlLibrary {
         WddlLibrary::new(&Library::lib180())
@@ -445,40 +445,48 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Dual-rail correctness for arbitrary functions: with
-        /// complementary rails, the true net computes f and the false
-        /// net ¬f; with all-zero rails both nets are 0 (precharge).
-        #[test]
-        fn compound_is_correct_and_precharges(n in 1u8..=5, bits: u64) {
-            let tt = TruthTable::from_bits(n, bits);
-            prop_assume!(!tt.support().is_empty());
+    /// Dual-rail correctness for arbitrary functions: with
+    /// complementary rails, the true net computes f and the false
+    /// net ¬f; with all-zero rails both nets are 0 (precharge).
+    #[test]
+    fn compound_is_correct_and_precharges() {
+        secflow_testkit::prop_check!(cases: 48, seed: 0x0DD1_000A, |g| {
+            let n = g.random_range(1..6u8);
+            let tt = TruthTable::from_bits(n, g.random());
+            if tt.support().is_empty() {
+                return CaseResult::Skip;
+            }
             let mut w = lib();
             let i = w.compound_for(&tt);
             let c = w.compound(i);
             let mask = (1u32 << n) - 1;
             for v in 0..=mask {
-                prop_assert_eq!(eval_cover(&c.true_net, v, !v & mask), tt.eval(v));
-                prop_assert_eq!(eval_cover(&c.false_net, v, !v & mask), !tt.eval(v));
+                assert_eq!(eval_cover(&c.true_net, v, !v & mask), tt.eval(v));
+                assert_eq!(eval_cover(&c.false_net, v, !v & mask), !tt.eval(v));
             }
             // Precharge: all rails zero -> both outputs zero.
-            prop_assert!(!eval_cover(&c.true_net, 0, 0) || tt == TruthTable::one(n));
-            prop_assert!(!eval_cover(&c.false_net, 0, 0) || tt == TruthTable::zero(n));
-        }
+            assert!(!eval_cover(&c.true_net, 0, 0) || tt == TruthTable::one(n));
+            assert!(!eval_cover(&c.false_net, 0, 0) || tt == TruthTable::zero(n));
+        });
+    }
 
-        /// Exactly one rail rises in the evaluation phase.
-        #[test]
-        fn exactly_one_rail_active(n in 1u8..=4, bits: u64, v in 0u32..16) {
-            let tt = TruthTable::from_bits(n, bits);
-            prop_assume!(!tt.support().is_empty());
-            let v = v & ((1 << n) - 1);
+    /// Exactly one rail rises in the evaluation phase.
+    #[test]
+    fn exactly_one_rail_active() {
+        secflow_testkit::prop_check!(cases: 48, seed: 0x0DD1_000B, |g| {
+            let n = g.random_range(1..5u8);
+            let tt = TruthTable::from_bits(n, g.random());
+            if tt.support().is_empty() {
+                return CaseResult::Skip;
+            }
+            let v = g.random_range(0..16u32) & ((1 << n) - 1);
             let mut w = lib();
             let i = w.compound_for(&tt);
             let c = w.compound(i);
             let mask = (1u32 << n) - 1;
             let t = eval_cover(&c.true_net, v, !v & mask);
             let f = eval_cover(&c.false_net, v, !v & mask);
-            prop_assert_ne!(t, f);
-        }
+            assert_ne!(t, f);
+        });
     }
 }

@@ -7,8 +7,7 @@
 //! requested size so the same runtime experiment can be performed on
 //! comparable workloads.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_synth::{Design, Lit};
 

@@ -6,8 +6,7 @@
 //! `K = 46`, 125 MHz, 800 samples per cycle — and slices the supply
 //! current into one trace per encryption.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_cells::Library;
 use secflow_crypto::dpa_module::{encrypt, selection};

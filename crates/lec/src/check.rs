@@ -3,8 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_cells::{CellFunction, Library};
 use secflow_netlist::{GateKind, NetId, Netlist};

@@ -1,8 +1,7 @@
 //! Row-based placement: connectivity-ordered initial placement refined
 //! by simulated annealing on half-perimeter wirelength.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_cells::{Library, ROW_TRACKS};
 use secflow_netlist::{GateId, NetId, Netlist};

@@ -1,0 +1,432 @@
+//! Dependency-free deterministic PRNGs for the secflow workspace.
+//!
+//! Every stochastic component of the flow — annealing moves, random
+//! LEC vectors, plaintext campaigns, measurement noise — draws from
+//! the generators in this crate, so identical seeds reproduce
+//! identical traces bit-for-bit, run-to-run and machine-to-machine.
+//! Nothing here is cryptographic; the goal is reproducible
+//! experiments, not secrecy.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix`] — SplitMix64 (Steele, Lea & Flood 2014): a tiny
+//!   64-bit state, one addition and three xor-shift-multiplies per
+//!   output. Used directly by cheap internal checks and to expand a
+//!   `u64` seed into larger state.
+//! * [`StdRng`] — xoshiro256++ (Blackman & Vigna 2019): 256 bits of
+//!   state seeded through SplitMix64, the workspace's general-purpose
+//!   generator.
+//!
+//! The sampling surface mirrors the subset of the `rand` crate API the
+//! codebase uses, so call sites read identically:
+//!
+//! ```
+//! use secflow_rand::{RngExt, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let byte: u8 = rng.random_range(0..16u8);
+//! let coin: bool = rng.random();
+//! let p = rng.random_bool(0.25);
+//! # let _ = (byte, coin, p);
+//! ```
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64: `state += γ; output = mix(state)`.
+///
+/// The public tuple field preserves the original `SplitMix(seed)`
+/// construction used throughout the workspace's checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Advances the state and returns the next output word.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(Self::GAMMA);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl SeedableRng for SplitMix {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix(seed)
+    }
+}
+
+/// xoshiro256++, the workspace's default generator.
+///
+/// 256 bits of state, period 2^256 − 1, excellent equidistribution;
+/// seeded by expanding a `u64` through SplitMix64 as its authors
+/// recommend (this also makes the all-zero state unreachable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix(seed);
+        StdRng {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = Self::rotl(s[3], 45);
+        result
+    }
+}
+
+/// Types that can be sampled uniformly from a generator's full output.
+pub trait Random: Sized {
+    /// Draws one uniform value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[inline]
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // Take the high bits: xoshiro256++'s upper bits have
+                // the best statistical quality.
+                (rng.next_u64() >> (64 - <$t>::BITS)) as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as the element of a `random_range` half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[start, end)`. `start < end` is already
+    /// checked by the caller.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                // Lemire's multiply-shift: maps a 64-bit word onto the
+                // span with bias below span/2^64 — unmeasurable for
+                // every span this workspace uses, and branch-free, so
+                // streams stay identical across platforms.
+                let span = (end as u64).wrapping_sub(start as u64);
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+        let u = f64::random(rng);
+        // May round up to `end` for extreme spans; clamp to keep the
+        // half-open contract.
+        let v = start + (end - start) * u;
+        if v >= end {
+            end - (end - start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// The sampling methods every generator gets for free.
+pub trait RngExt: RngCore {
+    /// Draws a uniform value of an inferred type ([`Random`]).
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Alias for [`RngExt::random`], kept for `rand`-style call sites.
+    #[inline]
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws uniformly from the half-open range `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T: SampleUniform + PartialOrd>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "empty range in random_range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::random(self) < p
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published reference vectors for SplitMix64 from seed 0
+    /// (Steele/Lea/Flood test stream), plus pinned streams for other
+    /// seeds to freeze our exact implementation.
+    #[test]
+    fn splitmix64_known_answers() {
+        let cases: [(u64, [u64; 4]); 4] = [
+            (
+                0,
+                [
+                    0xE220_A839_7B1D_CDAF,
+                    0x6E78_9E6A_A1B9_65F4,
+                    0x06C4_5D18_8009_454F,
+                    0xF88B_B8A8_724C_81EC,
+                ],
+            ),
+            (
+                1,
+                [
+                    0x910A_2DEC_8902_5CC1,
+                    0xBEEB_8DA1_658E_EC67,
+                    0xF893_A2EE_FB32_555E,
+                    0x71C1_8690_EE42_C90B,
+                ],
+            ),
+            (
+                42,
+                [
+                    0xBDD7_3226_2FEB_6E95,
+                    0x28EF_E333_B266_F103,
+                    0x4752_6757_130F_9F52,
+                    0x581C_E1FF_0E4A_E394,
+                ],
+            ),
+            (
+                0xDEAD_BEEF,
+                [
+                    0x4ADF_B90F_68C9_EB9B,
+                    0xDE58_6A31_41A1_0922,
+                    0x021F_BC2F_8E1C_FC1D,
+                    0x7466_CE73_7BE1_6790,
+                ],
+            ),
+        ];
+        for (seed, expect) in cases {
+            let mut sm = SplitMix(seed);
+            for (i, &e) in expect.iter().enumerate() {
+                assert_eq!(sm.next(), e, "seed {seed} word {i}");
+            }
+        }
+    }
+
+    /// xoshiro256++ streams with SplitMix64-expanded seeds, pinned
+    /// against an independent reference implementation of the
+    /// Blackman–Vigna algorithm.
+    #[test]
+    fn xoshiro256pp_known_answers() {
+        let cases: [(u64, [u64; 4]); 3] = [
+            (
+                0,
+                [
+                    0x5317_5D61_490B_23DF,
+                    0x61DA_6F3D_C380_D507,
+                    0x5C0F_DF91_EC9A_7BFC,
+                    0x02EE_BF8C_3BBE_5E1A,
+                ],
+            ),
+            (
+                1,
+                [
+                    0xCFC5_D07F_6F03_C29B,
+                    0xBF42_4132_963F_E08D,
+                    0x19A3_7D57_57AA_F520,
+                    0xBF08_119F_05CD_56D6,
+                ],
+            ),
+            (
+                42,
+                [
+                    0xD076_4D4F_4476_689F,
+                    0x519E_4174_576F_3791,
+                    0xFBE0_7CFB_0C24_ED8C,
+                    0xB37D_9F60_0CD8_35B8,
+                ],
+            ),
+        ];
+        for (seed, expect) in cases {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (i, &e) in expect.iter().enumerate() {
+                assert_eq!(rng.next_u64(), e, "seed {seed} word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = StdRng::seed_from_u64(0x5EC0_F10E);
+        let mut b = StdRng::seed_from_u64(0x5EC0_F10E);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut a = SplitMix(7);
+        let mut b = SplitMix(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20u8);
+            assert!((10..20).contains(&v));
+            let v = rng.random_range(0..3usize);
+            assert!(v < 3);
+            let v = rng.random_range(0.25..0.5f64);
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [0u32; 6];
+        for _ in 0..6000 {
+            seen[rng.random_range(0..6u32) as usize] += 1;
+        }
+        // Uniform expectation is 1000 per bucket; a deterministic
+        // stream either passes this loose band forever or never.
+        for (i, &n) in seen.iter().enumerate() {
+            assert!((800..1200).contains(&n), "bucket {i} count {n}");
+        }
+    }
+
+    #[test]
+    fn random_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2300..2700).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // First 8 bytes are the first word, little-endian.
+        let mut check = StdRng::seed_from_u64(7);
+        assert_eq!(buf[..8], check.next_u64().to_le_bytes());
+        assert_eq!(buf[8..13], check.next_u64().to_le_bytes()[..5]);
+    }
+
+    #[test]
+    fn gen_is_an_alias_for_random() {
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        let x: u64 = a.gen();
+        let y: u64 = b.random();
+        assert_eq!(x, y);
+    }
+}

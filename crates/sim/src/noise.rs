@@ -1,7 +1,6 @@
 //! Additive Gaussian measurement noise (Box–Muller on a seeded RNG).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 /// Adds zero-mean Gaussian noise with standard deviation `sigma` to
 /// every sample of `trace`. Deterministic for a fixed `seed`.

@@ -659,11 +659,10 @@ mod proptests {
     use super::*;
     use crate::design::Design;
     use crate::eval::simulate_comb;
-    use proptest::prelude::*;
 
     /// A random expression program: each step combines two earlier
     /// values with one of the AIG operators.
-    #[derive(Debug, Clone)]
+    #[derive(Debug, Clone, Copy)]
     enum Op {
         And,
         Or,
@@ -672,28 +671,23 @@ mod proptests {
         Mux,
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            Just(Op::And),
-            Just(Op::Or),
-            Just(Op::Xor),
-            Just(Op::AndNot),
-            Just(Op::Mux),
-        ]
-    }
+    const OPS: [Op; 5] = [Op::And, Op::Or, Op::Xor, Op::AndNot, Op::Mux];
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        /// Mapping any random expression DAG preserves its function
-        /// (checked exhaustively over all input assignments).
-        #[test]
-        fn mapping_preserves_function(
-            n_inputs in 2usize..=6,
-            steps in proptest::collection::vec(
-                (op_strategy(), any::<u16>(), any::<u16>(), any::<u16>(), any::<bool>()),
-                1..28,
-            ),
-        ) {
+    /// Mapping any random expression DAG preserves its function
+    /// (checked exhaustively over all input assignments).
+    #[test]
+    fn mapping_preserves_function() {
+        secflow_testkit::prop_check!(cases: 24, seed: 0x3A90_0001, |g| {
+            let n_inputs = g.random_range(2..7usize);
+            let steps = g.vec_with(1..28, |g| {
+                (
+                    *g.choose(&OPS),
+                    g.random::<u16>(),
+                    g.random::<u16>(),
+                    g.random::<u16>(),
+                    g.random::<bool>(),
+                )
+            });
             let mut d = Design::new("rand");
             let mut pool: Vec<Lit> = (0..n_inputs)
                 .map(|i| d.input(format!("i{i}")))
@@ -718,7 +712,7 @@ mod proptests {
             d.output("y", y);
             let lib = Library::lib180();
             let nl = map_design(&d, &lib, &MapOptions::default()).expect("mappable");
-            prop_assert!(nl.validate().is_ok());
+            assert!(nl.validate().is_ok());
 
             // Exhaustive equivalence via bit-parallel reference
             // evaluation and gate-level netlist evaluation.
@@ -755,8 +749,8 @@ mod proptests {
                     }
                 }
                 let got = values[nl.outputs()[0].index()];
-                prop_assert_eq!(got, want, "pattern {:#b}", pat);
+                assert_eq!(got, want, "pattern {pat:#b}");
             }
-        }
+        });
     }
 }

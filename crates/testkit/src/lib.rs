@@ -1,0 +1,329 @@
+//! Hermetic test and bench infrastructure for the secflow workspace.
+//!
+//! * [`prop_check!`] / [`prop_check`] — a minimal property-testing
+//!   harness: N seeded random cases, shrink-by-halving on failure, and
+//!   a printed replay recipe (`SECFLOW_PROP_SEED`/`SECFLOW_PROP_SCALE`).
+//! * [`timing`] — a median-of-K wall-clock harness emitting one JSON
+//!   line per measurement, used by the `flow_stages` bench.
+//!
+//! Unlike `proptest`, generation is imperative: the property closure
+//! receives a [`Gen`] and draws whatever structure it needs. Each case
+//! runs from its own deterministic sub-seed, so any failure is
+//! replayable from the seed printed in the panic message alone.
+
+pub mod timing;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use secflow_rand::{RngExt, SeedableRng, SplitMix, StdRng};
+
+/// Per-case random value source handed to property closures.
+///
+/// Wraps the workspace [`StdRng`] and adds a *scale* in `(0, 1]` that
+/// the shrinker halves on failure: collection lengths drawn through
+/// [`Gen::len_in`] contract toward their minimum while scalar draws
+/// stay on the same stream, so a shrunk case is a structurally smaller
+/// variant of the same failure.
+pub struct Gen {
+    rng: StdRng,
+    scale: f64,
+}
+
+impl Gen {
+    /// Builds a generator for one case. `scale` is clamped to `(0, 1]`.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            scale: scale.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+
+    /// The current shrink scale (1.0 on the first attempt).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draws a uniform value of an inferred type.
+    pub fn random<T: secflow_rand::Random>(&mut self) -> T {
+        self.rng.random()
+    }
+
+    /// Draws uniformly from `start..end`.
+    pub fn random_range<T>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        T: secflow_rand::SampleUniform + PartialOrd,
+    {
+        self.rng.random_range(range)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// Draws a collection length from `range`, contracted toward
+    /// `range.start` by the shrink scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn len_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range in len_in");
+        let span = range.end - range.start;
+        let scaled = ((span as f64 * self.scale).ceil() as usize).clamp(1, span);
+        range.start + self.rng.random_range(0..scaled)
+    }
+
+    /// Builds a vector whose length is drawn via [`Gen::len_in`] and
+    /// whose elements come from `f`.
+    pub fn vec_with<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.len_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.rng.random_range(0..items.len())]
+    }
+}
+
+/// Outcome of one property case; `Skip` means the drawn inputs did not
+/// satisfy a precondition (the analogue of `prop_assume!`) and the
+/// case is not counted as a failure.
+pub enum CaseResult {
+    /// Property held.
+    Pass,
+    /// Precondition unmet; draw another case.
+    Skip,
+}
+
+/// Runs `cases` random executions of `property`, each from a
+/// deterministic sub-seed of `seed`.
+///
+/// On a panic inside the property the harness re-runs the *same*
+/// sub-seed with the generation scale halved (1 → 1/2 → 1/4 → …, eight
+/// steps), keeps the smallest still-failing scale, and then panics
+/// with a replay recipe:
+///
+/// ```text
+/// property failed (seed 0xD6E9…, scale 0.125).
+/// replay: SECFLOW_PROP_SEED=0xD6E9… SECFLOW_PROP_SCALE=0.125 cargo test -q <name>
+/// ```
+///
+/// Setting `SECFLOW_PROP_SEED` (and optionally `SECFLOW_PROP_SCALE`)
+/// in the environment re-runs exactly that case and nothing else.
+///
+/// # Panics
+///
+/// Panics if any case fails after shrinking, with the failing seed in
+/// the message.
+pub fn prop_check(cases: usize, seed: u64, mut property: impl FnMut(&mut Gen) -> CaseResult) {
+    // Replay mode: one exact case.
+    if let Ok(s) = std::env::var("SECFLOW_PROP_SEED") {
+        let case_seed = parse_seed(&s);
+        let scale = std::env::var("SECFLOW_PROP_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let mut g = Gen::new(case_seed, scale);
+        property(&mut g);
+        return;
+    }
+
+    let mut sub_seeds = SplitMix(seed);
+    let mut executed = 0usize;
+    let mut attempts = 0usize;
+    // Allow a bounded number of Skips so a tight precondition cannot
+    // spin forever.
+    let max_attempts = cases.saturating_mul(16).max(64);
+    while executed < cases {
+        assert!(
+            attempts < max_attempts,
+            "property skipped too often: {executed}/{cases} cases ran in {attempts} attempts"
+        );
+        attempts += 1;
+        let case_seed = sub_seeds.next();
+        match run_case(&mut property, case_seed, 1.0) {
+            Ok(CaseResult::Pass) => executed += 1,
+            Ok(CaseResult::Skip) => {}
+            Err(message) => {
+                let (scale, message) = shrink(&mut property, case_seed, message);
+                panic!(
+                    "property failed (seed {case_seed:#018X}, scale {scale}): {message}\n\
+                     replay: SECFLOW_PROP_SEED={case_seed:#018X} SECFLOW_PROP_SCALE={scale} \
+                     cargo test -q -- <this test>"
+                );
+            }
+        }
+    }
+}
+
+/// Shrink-by-halving: re-run the failing seed at scales 1/2, 1/4, …
+/// and keep the smallest scale that still fails.
+fn shrink(
+    property: &mut impl FnMut(&mut Gen) -> CaseResult,
+    case_seed: u64,
+    original: String,
+) -> (f64, String) {
+    let mut best = (1.0, original);
+    let mut scale = 1.0;
+    for _ in 0..8 {
+        scale /= 2.0;
+        match run_case(property, case_seed, scale) {
+            // A Skip or Pass at this scale ends the descent: smaller
+            // cases no longer reproduce the failure.
+            Ok(_) => break,
+            Err(message) => best = (scale, message),
+        }
+    }
+    best
+}
+
+fn run_case(
+    property: &mut impl FnMut(&mut Gen) -> CaseResult,
+    seed: u64,
+    scale: f64,
+) -> Result<CaseResult, String> {
+    let mut g = Gen::new(seed, scale);
+    catch_unwind(AssertUnwindSafe(|| property(&mut g))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let t = s.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    parsed.unwrap_or_else(|_| panic!("unparsable SECFLOW_PROP_SEED `{s}`"))
+}
+
+/// Runs a property over `cases` seeded random inputs.
+///
+/// ```
+/// secflow_testkit::prop_check!(cases: 64, seed: 0xD05E, |g| {
+///     let n = g.random_range(1..10usize);
+///     let v = g.vec_with(1..20, |g| g.random::<u16>());
+///     assert!(v.len() < 20 && n < 10);
+/// });
+/// ```
+///
+/// The closure body may `return secflow_testkit::CaseResult::Skip;` to
+/// reject inputs that miss a precondition; falling off the end counts
+/// as a pass.
+#[macro_export]
+macro_rules! prop_check {
+    (cases: $cases:expr, seed: $seed:expr, |$g:ident| $body:block) => {
+        $crate::prop_check($cases, $seed, |$g: &mut $crate::Gen| {
+            #[allow(unreachable_code)]
+            {
+                $body;
+                $crate::CaseResult::Pass
+            }
+        })
+    };
+    (|$g:ident| $body:block) => {
+        $crate::prop_check!(cases: 32, seed: 0x5EC0_F10E_7E57, |$g| $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        prop_check(16, 1, |g| {
+            let _: u64 = g.random();
+            count += 1;
+            CaseResult::Pass
+        });
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            prop_check!(cases: 8, seed: 2, |g| {
+                let v = g.random_range(0..100u32);
+                assert!(v > 1000, "impossible");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("SECFLOW_PROP_SEED="), "{msg}");
+        assert!(msg.contains("scale"), "{msg}");
+    }
+
+    #[test]
+    fn skip_rejects_inputs_without_failing() {
+        let mut ran = 0;
+        prop_check(8, 3, |g| {
+            if g.random_bool(0.5) {
+                return CaseResult::Skip;
+            }
+            ran += 1;
+            CaseResult::Pass
+        });
+        assert_eq!(ran, 8);
+    }
+
+    #[test]
+    fn shrinking_reduces_collection_lengths() {
+        // A property that fails whenever the vector is non-trivial:
+        // the shrinker should find a small failing scale.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            prop_check!(cases: 4, seed: 4, |g| {
+                let v = g.vec_with(1..64, |g| g.random::<u8>());
+                assert!(v.len() < 2, "len {}", v.len());
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // At scale 1/64 the length range collapses to exactly 1 and
+        // the property passes, so the reported scale must be small but
+        // nonzero.
+        assert!(msg.contains("scale 0.0"), "expected shrunk scale, got: {msg}");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let mut first = Vec::new();
+        prop_check(8, 5, |g| {
+            first.push(g.random::<u64>());
+            CaseResult::Pass
+        });
+        let mut second = Vec::new();
+        prop_check(8, 5, |g| {
+            second.push(g.random::<u64>());
+            CaseResult::Pass
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn len_in_scale_contracts_to_minimum() {
+        let mut g = Gen::new(1, 1.0 / 1024.0);
+        for _ in 0..100 {
+            assert_eq!(g.len_in(3..40), 3);
+        }
+    }
+}

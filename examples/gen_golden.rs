@@ -1,0 +1,36 @@
+//! Regenerates the golden netlists under `tests/golden/`.
+//!
+//! The Fig. 4 DES DPA module is mapped (regular netlist) and
+//! substituted (WDDL differential netlist); both are written as
+//! structural Verilog. Mapping and substitution are fully
+//! deterministic, so the files only change when the mapper, the WDDL
+//! library or the writer changes — and such a change must be reviewed
+//! via this diff.
+//!
+//! Run from the repository root: `cargo run --example gen_golden`
+
+use std::fs;
+use std::path::Path;
+
+use secflow::cells::Library;
+use secflow::crypto::dpa_module::des_dpa_design;
+use secflow::flow::substitute;
+use secflow::netlist::write_verilog;
+use secflow::synth::{map_design, MapOptions};
+
+fn main() {
+    let design = des_dpa_design();
+    let lib = Library::lib180();
+    let mapped = map_design(&design, &lib, &MapOptions::default()).expect("mapping");
+    let sub = substitute(&mapped, &lib).expect("substitution");
+
+    let dir = Path::new("tests/golden");
+    fs::create_dir_all(dir).expect("create tests/golden");
+    fs::write(dir.join("des_regular.v"), write_verilog(&mapped)).expect("write regular");
+    fs::write(dir.join("des_wddl.v"), write_verilog(&sub.differential)).expect("write wddl");
+    println!(
+        "wrote tests/golden/des_regular.v ({} gates) and tests/golden/des_wddl.v ({} gates)",
+        mapped.gate_count(),
+        sub.differential.gate_count()
+    );
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Hermetic by construction: the workspace has
+# zero registry dependencies, so every step runs with --offline and
+# must succeed from a clean checkout with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline) =="
+cargo build --workspace --release --offline
+
+echo "== tier-1: test suite (offline) =="
+cargo test -q --workspace --offline
+
+echo "== tier-1: experiment smoke (Fig. 6 MTD pipeline, 150 traces) =="
+cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke
+
+echo "tier-1 gate: OK"

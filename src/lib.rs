@@ -7,5 +7,6 @@ pub use secflow_extract as extract;
 pub use secflow_lec as lec;
 pub use secflow_netlist as netlist;
 pub use secflow_pnr as pnr;
+pub use secflow_rand as rand;
 pub use secflow_sim as sim;
 pub use secflow_synth as synth;

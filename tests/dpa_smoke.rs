@@ -1,56 +1,95 @@
 //! Integration smoke test of the full DPA pipeline: both
 //! implementations simulated, attacked, and compared — a miniature of
-//! the paper's §3 evaluation.
+//! the paper's §3 evaluation — plus a byte-identity determinism check
+//! on the trace statistics.
+
+use std::sync::OnceLock;
 
 use secflow::cells::Library;
 use secflow::crypto::dpa_module::{des_dpa_design, PAPER_KEY};
 use secflow::dpa::attack::dpa_attack;
-use secflow::dpa::harness::{collect_des_traces, DesTarget};
+use secflow::dpa::harness::{collect_des_traces, DesTarget, TraceSet};
 use secflow::dpa::stats::EnergyStats;
-use secflow::flow::{run_regular_flow, run_secure_flow, FlowOptions};
+use secflow::flow::{run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult};
 use secflow::sim::SimConfig;
 
-/// Shared fixture: both implementations plus a small trace campaign.
-fn trace_sets(n: usize) -> (EnergyStats, EnergyStats, f64, f64) {
-    let design = des_dpa_design();
-    let lib = Library::lib180();
-    let opts = FlowOptions {
-        anneal_moves_per_gate: 40,
-        ..Default::default()
-    };
-    let reg = run_regular_flow(&design, &lib, &opts).expect("regular flow");
-    let sec = run_secure_flow(&design, &lib, &opts).expect("secure flow");
-    let cfg = SimConfig {
+const N_TRACES: usize = 250;
+const SEED: u64 = 11;
+
+struct Fixture {
+    lib: Library,
+    regular: RegularFlowResult,
+    secure: SecureFlowResult,
+}
+
+/// Both flows are expensive; run each once and share across tests.
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let design = des_dpa_design();
+        let lib = Library::lib180();
+        let opts = FlowOptions {
+            anneal_moves_per_gate: 40,
+            ..Default::default()
+        };
+        let regular = run_regular_flow(&design, &lib, &opts).expect("regular flow");
+        let secure = run_secure_flow(&design, &lib, &opts).expect("secure flow");
+        Fixture {
+            lib,
+            regular,
+            secure,
+        }
+    })
+}
+
+fn sim_config() -> SimConfig {
+    SimConfig {
         samples_per_cycle: 200,
         ..Default::default()
-    };
+    }
+}
 
-    let reg_set = collect_des_traces(
+fn regular_traces(n: usize, seed: u64) -> TraceSet {
+    let f = fixture();
+    collect_des_traces(
         &DesTarget {
-            netlist: &reg.netlist,
-            lib: &lib,
-            parasitics: Some(&reg.parasitics),
+            netlist: &f.regular.netlist,
+            lib: &f.lib,
+            parasitics: Some(&f.regular.parasitics),
             wddl_inputs: None,
             glitch_free: false,
         },
-        &cfg,
+        &sim_config(),
         PAPER_KEY,
         n,
-        11,
-    );
-    let sec_set = collect_des_traces(
+        seed,
+    )
+}
+
+fn secure_traces(n: usize, seed: u64) -> TraceSet {
+    let f = fixture();
+    collect_des_traces(
         &DesTarget {
-            netlist: &sec.substitution.differential,
-            lib: &sec.substitution.diff_lib,
-            parasitics: Some(&sec.parasitics),
-            wddl_inputs: Some(&sec.substitution.input_pairs),
+            netlist: &f.secure.substitution.differential,
+            lib: &f.secure.substitution.diff_lib,
+            parasitics: Some(&f.secure.parasitics),
+            wddl_inputs: Some(&f.secure.substitution.input_pairs),
             glitch_free: false,
         },
-        &cfg,
+        &sim_config(),
         PAPER_KEY,
         n,
-        11,
-    );
+        seed,
+    )
+}
+
+#[test]
+fn energy_signature_and_leak_direction() {
+    let reg_set = regular_traces(N_TRACES, SEED);
+    let sec_set = secure_traces(N_TRACES, SEED);
+
+    let reg_stats = EnergyStats::of(&reg_set.energies, 1);
+    let sec_stats = EnergyStats::of(&sec_set.energies, 1);
 
     let reg_attack = dpa_attack(&reg_set.traces, 64, reg_set.selector());
     let sec_attack = dpa_attack(&sec_set.traces, 64, sec_set.selector());
@@ -64,17 +103,8 @@ fn trace_sets(n: usize) -> (EnergyStats, EnergyStats, f64, f64) {
             .fold(0.0f64, f64::max);
         correct / wrong
     };
-    (
-        EnergyStats::of(&reg_set.energies, 1),
-        EnergyStats::of(&sec_set.energies, 1),
-        norm_peak(&reg_attack),
-        norm_peak(&sec_attack),
-    )
-}
-
-#[test]
-fn energy_signature_and_leak_direction() {
-    let (reg_stats, sec_stats, reg_ratio, sec_ratio) = trace_sets(250);
+    let reg_ratio = norm_peak(&reg_attack);
+    let sec_ratio = norm_peak(&sec_attack);
 
     // §3: the secure design burns more total energy...
     assert!(
@@ -104,4 +134,32 @@ fn energy_signature_and_leak_direction() {
         reg_ratio > sec_ratio,
         "leak direction wrong: reference {reg_ratio} vs secure {sec_ratio}"
     );
+}
+
+/// Two campaigns with the same seed must produce byte-identical trace
+/// statistics — the reproducibility guarantee every MTD figure in the
+/// paper reproduction rests on.
+#[test]
+fn trace_statistics_are_deterministic_for_a_fixed_seed() {
+    let n = 40;
+    let a = regular_traces(n, SEED);
+    let b = regular_traces(n, SEED);
+    assert_eq!(a.ciphertexts, b.ciphertexts);
+    // f64 bit-exactness, not approximate equality: the simulation and
+    // the RNG are both integer-seeded and platform-independent.
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.energies), bits(&b.energies));
+    for (ta, tb) in a.traces.iter().zip(&b.traces) {
+        assert_eq!(bits(ta), bits(tb));
+    }
+
+    let sa = EnergyStats::of(&a.energies, 1);
+    let sb = EnergyStats::of(&b.energies, 1);
+    assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+    assert_eq!(sa.nsd.to_bits(), sb.nsd.to_bits());
+    assert_eq!(sa.ned.to_bits(), sb.ned.to_bits());
+
+    // A different seed must actually change the campaign.
+    let c = regular_traces(n, SEED + 1);
+    assert_ne!(a.ciphertexts, c.ciphertexts);
 }
