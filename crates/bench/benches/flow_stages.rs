@@ -25,7 +25,7 @@ use secflow_lec::check_equiv_with_parity;
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
 use secflow_sim::SimConfig;
 use secflow_synth::{map_design, MapOptions};
-use secflow_testkit::timing::bench;
+use secflow_testkit::timing::{bench, time_median};
 
 /// Median-of-K runs per measurement; small because the individual
 /// stages are long relative to timer noise.
@@ -148,6 +148,55 @@ fn bench_power_sim_and_attack(filter: &str) {
     });
 }
 
+fn bench_exec_speedup(filter: &str) {
+    if !"exec_speedup".contains(filter) {
+        return;
+    }
+    let lib = Library::lib180();
+    let design = des_dpa_design();
+    let mapped = map_design(&design, &lib, &MapOptions::default()).expect("map");
+    let cfg = SimConfig {
+        samples_per_cycle: 200,
+        ..Default::default()
+    };
+    let target = DesTarget {
+        netlist: &mapped,
+        lib: &lib,
+        parasitics: None,
+        wddl_inputs: None,
+        glitch_free: false,
+    };
+    let n = 64;
+    let threads = secflow_exec::effective_threads();
+    let serial = time_median(&format!("exec_speedup/serial_{n}_encryptions"), K, || {
+        secflow_exec::with_threads(1, || {
+            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1));
+        });
+    });
+    let parallel = time_median(
+        &format!("exec_speedup/parallel_{n}_encryptions_t{threads}"),
+        K,
+        || {
+            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1));
+        },
+    );
+    println!("{}", serial.json_line());
+    println!("{}", parallel.json_line());
+    let speedup = serial.median_ns as f64 / parallel.median_ns as f64;
+    let json = format!(
+        "{{\"bench\":\"exec_speedup\",\"threads\":{threads},\
+         \"serial_median_ns\":{},\"parallel_median_ns\":{},\
+         \"speedup\":{speedup:.3},\"k\":{K}}}",
+        serial.median_ns, parallel.median_ns
+    );
+    println!("{json}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_exec_speedup.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench -- <substring>` runs only matching groups; the
     // harness also swallows libtest-style flags cargo may pass.
@@ -155,13 +204,14 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    const GROUPS: [&str; 6] = [
+    const GROUPS: [&str; 7] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
         "wddl_derive_base_cells",
         "lec_fat_vs_original_des",
         "dpa_pipeline",
+        "exec_speedup",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
         eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
@@ -173,4 +223,5 @@ fn main() {
     bench_wddl_library(&filter);
     bench_lec(&filter);
     bench_power_sim_and_attack(&filter);
+    bench_exec_speedup(&filter);
 }

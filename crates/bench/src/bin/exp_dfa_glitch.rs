@@ -15,7 +15,10 @@ use secflow_bench::{build_des_implementations, paper_sim_config};
 use secflow_dpa::dfa::glitch_sweep;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_dfa_glitch", threads);
+    let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
 

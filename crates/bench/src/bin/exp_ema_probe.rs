@@ -15,6 +15,9 @@ use secflow_cells::TRACK_UM;
 use secflow_dpa::ema::{layout_field, pair_discrimination};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_ema_probe", threads);
     println!("=== E10: EM discrimination of differential pairs (§4.2, Fig. 7) ===\n");
     println!("relative field difference |B_railA - B_railB| / B_avg");
     println!(

@@ -80,6 +80,9 @@ fn render(design: &RoutedDesign, layer: u8, max_w: i32, max_h: i32) -> String {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_fig3_decompose", threads);
     let nl = six_gate_design();
     let lib = Library::lib180();
     let sub = substitute(&nl, &lib).expect("substitution");

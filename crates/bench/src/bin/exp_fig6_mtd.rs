@@ -20,6 +20,8 @@ use secflow_dpa::harness::collect_des_traces;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_fig6_mtd", threads);
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let mut args = args.into_iter();

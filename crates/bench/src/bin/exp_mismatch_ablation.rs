@@ -24,7 +24,10 @@ use secflow_extract::{extract, pair_mismatch, Technology};
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_mismatch_ablation", threads);
+    let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
 

@@ -71,7 +71,10 @@ fn synthetic_routes(
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_runtime_39k", threads);
+    let mut args = args.into_iter();
     let target: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(72_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
 

@@ -18,7 +18,10 @@ use secflow_dpa::timing::{idle_classification_accuracy, idle_visibility};
 use secflow_sim::{simulate_single_ended, simulate_wddl};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = secflow_bench::parse_threads(&mut args);
+    secflow_bench::emit_run_info("exp_timing_idle", threads);
+    let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
 

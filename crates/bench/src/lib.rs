@@ -72,6 +72,35 @@ pub fn paper_sim_config() -> SimConfig {
     SimConfig::default()
 }
 
+/// Strips a `--threads N` flag from `args`, applies it via
+/// [`secflow_exec::set_threads`], and returns the effective worker
+/// count. Exits with status 2 on a malformed value; leaves every
+/// other argument in place, so positional parsing can proceed on the
+/// remainder.
+pub fn parse_threads(args: &mut Vec<String>) -> usize {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("error: --threads requires a positive integer");
+                std::process::exit(2);
+            };
+            secflow_exec::set_threads(n);
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    secflow_exec::effective_threads()
+}
+
+/// Emits the experiment's run-info JSON line to **stderr** — stderr so
+/// experiment stdout stays byte-identical across thread counts (the
+/// determinism gate compares it).
+pub fn emit_run_info(exp: &str, threads: usize) {
+    eprintln!("{{\"exp\":\"{exp}\",\"threads\":{threads}}}");
+}
+
 /// Prints a labelled table row (fixed-width columns, for experiment
 /// output).
 pub fn row(label: &str, reference: impl std::fmt::Display, secure: impl std::fmt::Display) {

@@ -9,7 +9,7 @@ use secflow_extract::{extract, pair_mismatch, Parasitics, Technology};
 use secflow_lec::{check_equiv_random_with_parity, check_equiv_with_parity, LecError};
 use secflow_netlist::{Netlist, NetlistStats};
 use secflow_pnr::{
-    build_clock_tree, place, route, ClockOptions, ClockReport, GridPitch, PlaceOptions,
+    build_clock_tree, place_best_of, route, ClockOptions, ClockReport, GridPitch, PlaceOptions,
     RouteError, RoutedDesign,
 };
 use secflow_synth::{map_design, Design, MapError, MapOptions};
@@ -29,6 +29,10 @@ pub struct FlowOptions {
     pub aspect_ratio: f64,
     /// Placement-annealing effort (moves per gate).
     pub anneal_moves_per_gate: usize,
+    /// Independent placement-annealing restarts; the lowest-HPWL
+    /// result wins. Restarts run in parallel and `1` is a single
+    /// plain placement.
+    pub place_restarts: usize,
     /// Seed for the stochastic placement refinement.
     pub seed: u64,
     /// Router options.
@@ -53,6 +57,7 @@ impl Default for FlowOptions {
             fill_factor: 0.8,
             aspect_ratio: 1.0,
             anneal_moves_per_gate: 100,
+            place_restarts: 1,
             seed: 1,
             route: secflow_pnr::RouteOptions::default(),
             tech: Technology::default(),
@@ -233,7 +238,7 @@ pub fn run_regular_backend(
     synth_ms: f64,
 ) -> Result<RegularFlowResult, FlowError> {
     let t = Instant::now();
-    let placed = place(
+    let placed = place_best_of(
         &netlist,
         lib,
         &PlaceOptions {
@@ -243,6 +248,7 @@ pub fn run_regular_backend(
             seed: opts.seed,
             pitch: GridPitch::Normal,
         },
+        opts.place_restarts,
     );
     let place_ms = ms(t);
 
@@ -324,7 +330,7 @@ pub fn run_secure_backend(
     let substitute_ms = ms(t);
 
     let t = Instant::now();
-    let fat_placed = place(
+    let fat_placed = place_best_of(
         &substitution.fat,
         &substitution.fat_lib,
         &PlaceOptions {
@@ -334,6 +340,7 @@ pub fn run_secure_backend(
             seed: opts.seed,
             pitch: GridPitch::Fat,
         },
+        opts.place_restarts,
     );
     let place_ms = ms(t);
 

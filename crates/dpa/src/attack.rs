@@ -1,4 +1,11 @@
 //! Differential Power Analysis on a set of supply-current traces.
+//!
+//! The attack is parallel over key guesses (`secflow-exec`): each
+//! guess partitions and sums the traces independently, always walking
+//! them in input order, so the differential statistics are
+//! byte-identical at any thread count.
+
+use secflow_exec::par_map_range;
 
 /// Per-key-guess attack statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,88 +39,88 @@ impl DpaResult {
     }
 }
 
-/// Incremental per-key partition sums, so the MTD scan reuses work.
-struct Accumulator {
-    n_keys: usize,
+/// Partition sums of one key guess: sums of traces with selection
+/// bit 1 / 0. Each parallel work item owns one of these and walks the
+/// traces in input order.
+struct KeySums {
+    key: u8,
     samples: usize,
-    /// Per key: sums of traces with selection bit 1 / 0.
-    sum1: Vec<Vec<f64>>,
-    sum0: Vec<Vec<f64>>,
-    n1: Vec<usize>,
-    n0: Vec<usize>,
+    sum1: Vec<f64>,
+    sum0: Vec<f64>,
+    n1: usize,
+    n0: usize,
 }
 
-impl Accumulator {
-    fn new(n_keys: usize, samples: usize) -> Self {
-        Accumulator {
-            n_keys,
+impl KeySums {
+    fn new(key: u8, samples: usize) -> Self {
+        KeySums {
+            key,
             samples,
-            sum1: vec![vec![0.0; samples]; n_keys],
-            sum0: vec![vec![0.0; samples]; n_keys],
-            n1: vec![0; n_keys],
-            n0: vec![0; n_keys],
+            sum1: vec![0.0; samples],
+            sum0: vec![0.0; samples],
+            n1: 0,
+            n0: 0,
         }
     }
 
-    fn add(&mut self, trace: &[f64], select: impl Fn(u8) -> bool) {
+    fn add(&mut self, trace: &[f64], bit: bool) {
         assert_eq!(trace.len(), self.samples);
-        for k in 0..self.n_keys {
-            if select(k as u8) {
-                for (a, &t) in self.sum1[k].iter_mut().zip(trace) {
-                    *a += t;
-                }
-                self.n1[k] += 1;
-            } else {
-                for (a, &t) in self.sum0[k].iter_mut().zip(trace) {
-                    *a += t;
-                }
-                self.n0[k] += 1;
+        if bit {
+            for (a, &t) in self.sum1.iter_mut().zip(trace) {
+                *a += t;
             }
+            self.n1 += 1;
+        } else {
+            for (a, &t) in self.sum0.iter_mut().zip(trace) {
+                *a += t;
+            }
+            self.n0 += 1;
         }
     }
 
-    fn result(&self) -> DpaResult {
-        let mut guesses = Vec::with_capacity(self.n_keys);
-        for k in 0..self.n_keys {
-            let (mut peak, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
-            if self.n1[k] > 0 && self.n0[k] > 0 {
-                for s in 0..self.samples {
-                    let d = self.sum1[k][s] / self.n1[k] as f64
-                        - self.sum0[k][s] / self.n0[k] as f64;
-                    peak = peak.max(d.abs());
-                    lo = lo.min(d);
-                    hi = hi.max(d);
-                }
-            } else {
-                lo = 0.0;
-                hi = 0.0;
+    /// Statistics of the differential trace in the current state.
+    fn guess(&self) -> KeyGuessResult {
+        let (mut peak, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+        if self.n1 > 0 && self.n0 > 0 {
+            for s in 0..self.samples {
+                let d = self.sum1[s] / self.n1 as f64 - self.sum0[s] / self.n0 as f64;
+                peak = peak.max(d.abs());
+                lo = lo.min(d);
+                hi = hi.max(d);
             }
-            guesses.push(KeyGuessResult {
-                key: k as u8,
-                peak,
-                p2p: hi - lo,
-            });
-        }
-        let best = guesses
-            .iter()
-            .max_by(|a, b| a.peak.total_cmp(&b.peak))
-            .expect("at least one key guess");
-        let best_key = best.key;
-        let second = guesses
-            .iter()
-            .filter(|g| g.key != best_key)
-            .map(|g| g.peak)
-            .fold(0.0f64, f64::max);
-        let margin = if second > 0.0 {
-            best.peak / second
         } else {
-            f64::INFINITY
-        };
-        DpaResult {
-            guesses,
-            best_key,
-            margin,
+            lo = 0.0;
+            hi = 0.0;
         }
+        KeyGuessResult {
+            key: self.key,
+            peak,
+            p2p: hi - lo,
+        }
+    }
+}
+
+/// Best key and margin over a full set of guesses.
+fn finalize(guesses: Vec<KeyGuessResult>) -> DpaResult {
+    let best = guesses
+        .iter()
+        .max_by(|a, b| a.peak.total_cmp(&b.peak))
+        .expect("at least one key guess");
+    let best_key = best.key;
+    let second = guesses
+        .iter()
+        .filter(|g| g.key != best_key)
+        .map(|g| g.peak)
+        .fold(0.0f64, f64::max);
+    let margin = if second > 0.0 {
+        best.peak / second
+    } else {
+        f64::INFINITY
+    };
+    DpaResult {
+        guesses,
+        best_key,
+        margin,
     }
 }
 
@@ -128,15 +135,18 @@ impl Accumulator {
 pub fn dpa_attack(
     traces: &[Vec<f64>],
     n_keys: usize,
-    select: impl Fn(u8, usize) -> bool,
+    select: impl Fn(u8, usize) -> bool + Sync,
 ) -> DpaResult {
     assert!(n_keys > 0);
     let samples = traces.first().map_or(0, Vec::len);
-    let mut acc = Accumulator::new(n_keys, samples);
-    for (i, t) in traces.iter().enumerate() {
-        acc.add(t, |k| select(k, i));
-    }
-    acc.result()
+    let guesses = par_map_range(n_keys, |k| {
+        let mut sums = KeySums::new(k as u8, samples);
+        for (i, t) in traces.iter().enumerate() {
+            sums.add(t, select(k as u8, i));
+        }
+        sums.guess()
+    });
+    finalize(guesses)
 }
 
 /// One point of the MTD scan: attack statistics after the first `n`
@@ -175,31 +185,46 @@ pub fn mtd_scan(
     n_keys: usize,
     correct_key: u8,
     step: usize,
-    select: impl Fn(u8, usize) -> bool,
+    select: impl Fn(u8, usize) -> bool + Sync,
 ) -> MtdScan {
     assert!(step > 0 && n_keys > 0);
     let samples = traces.first().map_or(0, Vec::len);
-    let mut acc = Accumulator::new(n_keys, samples);
-    let mut points = Vec::new();
-    for (i, t) in traces.iter().enumerate() {
-        acc.add(t, |k| select(k, i));
-        let n = i + 1;
-        if n % step == 0 || n == traces.len() {
-            let r = acc.result();
-            let correct_peak = r.guesses[correct_key as usize].peak;
-            let best_wrong_peak = r
-                .guesses
-                .iter()
-                .filter(|g| g.key != correct_key)
-                .map(|g| g.peak)
-                .fold(0.0f64, f64::max);
-            points.push(MtdPoint {
-                traces: n,
-                disclosed: r.best_key == correct_key && correct_peak > best_wrong_peak,
-                correct_peak,
-                best_wrong_peak,
-            });
+    let checkpoints: Vec<usize> = (1..=traces.len())
+        .filter(|&n| n % step == 0 || n == traces.len())
+        .collect();
+    // Each key guess accumulates over the whole scan independently,
+    // emitting its differential peak at every checkpoint.
+    let peaks_per_key: Vec<Vec<f64>> = par_map_range(n_keys, |k| {
+        let mut sums = KeySums::new(k as u8, samples);
+        let mut peaks = Vec::with_capacity(checkpoints.len());
+        let mut next = 0;
+        for (i, t) in traces.iter().enumerate() {
+            sums.add(t, select(k as u8, i));
+            if next < checkpoints.len() && checkpoints[next] == i + 1 {
+                peaks.push(sums.guess().peak);
+                next += 1;
+            }
         }
+        peaks
+    });
+    let mut points = Vec::with_capacity(checkpoints.len());
+    for (c, &n) in checkpoints.iter().enumerate() {
+        let correct_peak = peaks_per_key[correct_key as usize][c];
+        let best_wrong_peak = peaks_per_key
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != correct_key as usize)
+            .map(|(_, peaks)| peaks[c])
+            .fold(0.0f64, f64::max);
+        points.push(MtdPoint {
+            traces: n,
+            // A strictly larger correct peak implies the correct key
+            // is also the argmax, so this matches the old
+            // `best_key == correct && correct > wrong` condition.
+            disclosed: correct_peak > best_wrong_peak,
+            correct_peak,
+            best_wrong_peak,
+        });
     }
     // MTD: first checkpoint after which disclosure is stable.
     let mut mtd = None;

@@ -8,6 +8,13 @@
 //! per key guess. It typically needs fewer traces than single-bit DPA
 //! against unprotected implementations, making it the natural
 //! escalation for evaluating the secure flow's margin.
+//!
+//! Parallel over key guesses (`secflow-exec`): the trace-only moments
+//! (Σt, Σt²) are shared and computed once serially, then each guess
+//! accumulates its hypothesis moments independently, walking the
+//! traces in input order — byte-identical at any thread count.
+
+use secflow_exec::par_map_range;
 
 /// Per-key-guess CPA statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,94 +36,101 @@ pub struct CpaResult {
     pub margin: f64,
 }
 
-/// Running sums for incremental Pearson correlation per (key, sample).
-struct Sums {
-    n_keys: usize,
-    samples: usize,
+/// Trace-only moments Σt, Σt² per sample, shared across key guesses.
+struct TraceSums {
     n: f64,
-    /// Per key: Σh, Σh².
-    sh: Vec<f64>,
-    shh: Vec<f64>,
-    /// Per sample: Σt, Σt².
     st: Vec<f64>,
     stt: Vec<f64>,
-    /// Per (key, sample): Σh·t.
+}
+
+impl TraceSums {
+    /// Accumulates the first `upto` traces in input order.
+    fn over(traces: &[Vec<f64>], samples: usize, upto: usize) -> Self {
+        let mut st = vec![0.0; samples];
+        let mut stt = vec![0.0; samples];
+        for t in &traces[..upto] {
+            assert_eq!(t.len(), samples, "inconsistent trace lengths");
+            for (s, &v) in t.iter().enumerate() {
+                st[s] += v;
+                stt[s] += v * v;
+            }
+        }
+        TraceSums {
+            n: upto as f64,
+            st,
+            stt,
+        }
+    }
+}
+
+/// Hypothesis moments of one key guess: Σh, Σh², and Σh·t per sample.
+struct KeySums {
+    samples: usize,
+    sh: f64,
+    shh: f64,
     sht: Vec<f64>,
 }
 
-impl Sums {
-    fn new(n_keys: usize, samples: usize) -> Self {
-        Sums {
-            n_keys,
+impl KeySums {
+    fn new(samples: usize) -> Self {
+        KeySums {
             samples,
-            n: 0.0,
-            sh: vec![0.0; n_keys],
-            shh: vec![0.0; n_keys],
-            st: vec![0.0; samples],
-            stt: vec![0.0; samples],
-            sht: vec![0.0; n_keys * samples],
+            sh: 0.0,
+            shh: 0.0,
+            sht: vec![0.0; samples],
         }
     }
 
-    fn add(&mut self, trace: &[f64], hyp: &[f64]) {
+    fn add(&mut self, trace: &[f64], h: f64) {
         debug_assert_eq!(trace.len(), self.samples);
-        debug_assert_eq!(hyp.len(), self.n_keys);
-        self.n += 1.0;
-        for (k, &h) in hyp.iter().enumerate() {
-            self.sh[k] += h;
-            self.shh[k] += h * h;
-            let row = &mut self.sht[k * self.samples..(k + 1) * self.samples];
-            for (acc, &t) in row.iter_mut().zip(trace) {
-                *acc += h * t;
-            }
-        }
-        for (s, &t) in trace.iter().enumerate() {
-            self.st[s] += t;
-            self.stt[s] += t * t;
+        self.sh += h;
+        self.shh += h * h;
+        for (acc, &t) in self.sht.iter_mut().zip(trace) {
+            *acc += h * t;
         }
     }
 
-    fn result(&self) -> CpaResult {
-        let n = self.n;
-        let mut guesses = Vec::with_capacity(self.n_keys);
-        for k in 0..self.n_keys {
-            let var_h = self.shh[k] - self.sh[k] * self.sh[k] / n;
-            let mut peak = 0.0f64;
-            if var_h > 1e-12 {
-                for s in 0..self.samples {
-                    let var_t = self.stt[s] - self.st[s] * self.st[s] / n;
-                    if var_t <= 1e-12 {
-                        continue;
-                    }
-                    let cov = self.sht[k * self.samples + s] - self.sh[k] * self.st[s] / n;
-                    let r = cov / (var_h * var_t).sqrt();
-                    peak = peak.max(r.abs());
+    /// Peak |Pearson r| over all samples against the given trace
+    /// moments.
+    fn peak(&self, ts: &TraceSums) -> f64 {
+        let n = ts.n;
+        let var_h = self.shh - self.sh * self.sh / n;
+        let mut peak = 0.0f64;
+        if var_h > 1e-12 {
+            for s in 0..self.samples {
+                let var_t = ts.stt[s] - ts.st[s] * ts.st[s] / n;
+                if var_t <= 1e-12 {
+                    continue;
                 }
+                let cov = self.sht[s] - self.sh * ts.st[s] / n;
+                let r = cov / (var_h * var_t).sqrt();
+                peak = peak.max(r.abs());
             }
-            guesses.push(CpaKeyResult {
-                key: k as u8,
-                peak_corr: peak,
-            });
         }
-        let best = guesses
-            .iter()
-            .max_by(|a, b| a.peak_corr.total_cmp(&b.peak_corr))
-            .expect("at least one key");
-        let (best_key, best_corr) = (best.key, best.peak_corr);
-        let second = guesses
-            .iter()
-            .filter(|g| g.key != best_key)
-            .map(|g| g.peak_corr)
-            .fold(0.0f64, f64::max);
-        CpaResult {
-            guesses,
-            best_key,
-            margin: if second > 0.0 {
-                best_corr / second
-            } else {
-                f64::INFINITY
-            },
-        }
+        peak
+    }
+}
+
+/// Best key and margin over a full set of guesses.
+fn finalize(guesses: Vec<CpaKeyResult>) -> CpaResult {
+    let best = guesses
+        .iter()
+        .max_by(|a, b| a.peak_corr.total_cmp(&b.peak_corr))
+        .expect("at least one key");
+    let (best_key, best_corr) = (best.key, best.peak_corr);
+    let second = guesses
+        .iter()
+        .filter(|g| g.key != best_key)
+        .map(|g| g.peak_corr)
+        .fold(0.0f64, f64::max);
+    CpaResult {
+        guesses,
+        best_key,
+        margin: if second > 0.0 {
+            best_corr / second
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -130,20 +144,22 @@ impl Sums {
 pub fn cpa_attack(
     traces: &[Vec<f64>],
     n_keys: usize,
-    model: impl Fn(u8, usize) -> f64,
+    model: impl Fn(u8, usize) -> f64 + Sync,
 ) -> CpaResult {
     assert!(n_keys > 0);
     let samples = traces.first().map_or(0, Vec::len);
-    let mut sums = Sums::new(n_keys, samples);
-    let mut hyp = vec![0.0; n_keys];
-    for (i, t) in traces.iter().enumerate() {
-        assert_eq!(t.len(), samples, "inconsistent trace lengths");
-        for (k, h) in hyp.iter_mut().enumerate() {
-            *h = model(k as u8, i);
+    let ts = TraceSums::over(traces, samples, traces.len());
+    let guesses = par_map_range(n_keys, |k| {
+        let mut sums = KeySums::new(samples);
+        for (i, t) in traces.iter().enumerate() {
+            sums.add(t, model(k as u8, i));
         }
-        sums.add(t, &hyp);
-    }
-    sums.result()
+        CpaKeyResult {
+            key: k as u8,
+            peak_corr: sums.peak(&ts),
+        }
+    });
+    finalize(guesses)
 }
 
 /// One point of a CPA MTD scan.
@@ -166,35 +182,71 @@ pub fn cpa_mtd_scan(
     n_keys: usize,
     correct_key: u8,
     step: usize,
-    model: impl Fn(u8, usize) -> f64,
+    model: impl Fn(u8, usize) -> f64 + Sync,
 ) -> (Vec<CpaMtdPoint>, Option<usize>) {
     assert!(step > 0 && n_keys > 0);
     let samples = traces.first().map_or(0, Vec::len);
-    let mut sums = Sums::new(n_keys, samples);
-    let mut hyp = vec![0.0; n_keys];
-    let mut points = Vec::new();
-    for (i, t) in traces.iter().enumerate() {
-        for (k, h) in hyp.iter_mut().enumerate() {
-            *h = model(k as u8, i);
+    let checkpoints: Vec<usize> = (1..=traces.len())
+        .filter(|&n| n % step == 0 || n == traces.len())
+        .collect();
+    // Trace-only moments snapshotted serially at every checkpoint,
+    // then shared by all key guesses.
+    let trace_snaps: Vec<TraceSums> = {
+        let mut snaps = Vec::with_capacity(checkpoints.len());
+        let mut running = TraceSums {
+            n: 0.0,
+            st: vec![0.0; samples],
+            stt: vec![0.0; samples],
+        };
+        let mut next = 0;
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.len(), samples, "inconsistent trace lengths");
+            for (s, &v) in t.iter().enumerate() {
+                running.st[s] += v;
+                running.stt[s] += v * v;
+            }
+            running.n += 1.0;
+            if next < checkpoints.len() && checkpoints[next] == i + 1 {
+                snaps.push(TraceSums {
+                    n: running.n,
+                    st: running.st.clone(),
+                    stt: running.stt.clone(),
+                });
+                next += 1;
+            }
         }
-        sums.add(t, &hyp);
-        let n = i + 1;
-        if n % step == 0 || n == traces.len() {
-            let r = sums.result();
-            let correct = r.guesses[correct_key as usize].peak_corr;
-            let wrong = r
-                .guesses
-                .iter()
-                .filter(|g| g.key != correct_key)
-                .map(|g| g.peak_corr)
-                .fold(0.0f64, f64::max);
-            points.push(CpaMtdPoint {
-                traces: n,
-                disclosed: r.best_key == correct_key && correct > wrong,
-                correct_corr: correct,
-                best_wrong_corr: wrong,
-            });
+        snaps
+    };
+    let corrs_per_key: Vec<Vec<f64>> = par_map_range(n_keys, |k| {
+        let mut sums = KeySums::new(samples);
+        let mut corrs = Vec::with_capacity(checkpoints.len());
+        let mut next = 0;
+        for (i, t) in traces.iter().enumerate() {
+            sums.add(t, model(k as u8, i));
+            if next < checkpoints.len() && checkpoints[next] == i + 1 {
+                corrs.push(sums.peak(&trace_snaps[next]));
+                next += 1;
+            }
         }
+        corrs
+    });
+    let mut points = Vec::with_capacity(checkpoints.len());
+    for (c, &n) in checkpoints.iter().enumerate() {
+        let correct = corrs_per_key[correct_key as usize][c];
+        let wrong = corrs_per_key
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != correct_key as usize)
+            .map(|(_, corrs)| corrs[c])
+            .fold(0.0f64, f64::max);
+        points.push(CpaMtdPoint {
+            traces: n,
+            // Strictly beating every wrong key implies being the
+            // argmax, matching the old condition.
+            disclosed: correct > wrong,
+            correct_corr: correct,
+            best_wrong_corr: wrong,
+        });
     }
     let mut mtd = None;
     for p in points.iter().rev() {

@@ -5,15 +5,27 @@
 //! paper's measurement campaign: 2000 encryptions, random `PL`/`PR`,
 //! `K = 46`, 125 MHz, 800 samples per cycle — and slices the supply
 //! current into one trace per encryption.
+//!
+//! The campaign is parallel over encryptions (`secflow-exec`): the
+//! plaintext sequence is drawn serially up front (identical to the
+//! serial harness for a given seed), the measurement-noise stream of
+//! encryption `i` is derived from `(noise_seed, i)` via
+//! [`secflow_rand::split_seed`], and each trace is produced by
+//! simulating a short **window** — the two preceding plaintext cycles
+//! (the datapath's full state history), the leakage cycle itself, and
+//! two flush cycles — so traces are independent work items yet
+//! byte-identical at any thread count.
 
-use secflow_rand::{RngExt, SeedableRng, StdRng};
+use secflow_rand::{split_seed, RngExt, SeedableRng, StdRng};
 
 use secflow_cells::Library;
 use secflow_crypto::dpa_module::{encrypt, selection};
+use secflow_exec::par_map_range;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
 use secflow_sim::{
-    simulate_single_ended, simulate_single_ended_glitch_free, simulate_wddl, SimConfig,
+    add_gaussian_noise, simulate_single_ended_glitch_free_with_load,
+    simulate_single_ended_with_load, simulate_wddl_with_load, LoadModel, SimConfig,
 };
 
 /// A simulated implementation of the DES DPA module.
@@ -78,17 +90,15 @@ pub fn collect_des_traces(
     seed: u64,
 ) -> TraceSet {
     assert!(key < 64);
+    // Plaintexts are drawn sequentially up front — cheap, and it keeps
+    // the campaign identical to the serial harness for a given seed.
+    // Only the expensive per-encryption simulation is parallelised.
     let mut rng = StdRng::seed_from_u64(seed);
     let plaintexts: Vec<(u8, u8)> = (0..n)
         .map(|_| (rng.random_range(0..16u8), rng.random_range(0..64u8)))
         .collect();
 
-    // Stimulus: n plaintext cycles plus 2 flush cycles so the last
-    // ciphertext is captured and observable.
-    let n_cycles = n + 2;
-    let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(n_cycles);
-    for c in 0..n_cycles {
-        let (pl, pr) = plaintexts.get(c).copied().unwrap_or((0, 0));
+    let vector = |pl: u8, pr: u8| -> Vec<bool> {
         let mut v = Vec::with_capacity(16);
         for i in 0..4 {
             v.push(pl >> i & 1 == 1);
@@ -99,32 +109,7 @@ pub fn collect_des_traces(
         for i in 0..6 {
             v.push(key >> i & 1 == 1);
         }
-        vectors.push(v);
-    }
-
-    let result = match (target.wddl_inputs, target.glitch_free) {
-        (Some(pairs), _) => simulate_wddl(
-            target.netlist,
-            target.lib,
-            target.parasitics,
-            cfg,
-            pairs,
-            &vectors,
-        ),
-        (None, false) => simulate_single_ended(
-            target.netlist,
-            target.lib,
-            target.parasitics,
-            cfg,
-            &vectors,
-        ),
-        (None, true) => simulate_single_ended_glitch_free(
-            target.netlist,
-            target.lib,
-            target.parasitics,
-            cfg,
-            &vectors,
-        ),
+        v
     };
 
     let spc = cfg.samples_per_cycle;
@@ -140,24 +125,86 @@ pub fn collect_des_traces(
         (cl, cr)
     };
 
-    let mut traces = Vec::with_capacity(n);
-    let mut ciphertexts = Vec::with_capacity(n);
-    let mut energies = Vec::with_capacity(n);
-    for (i, &(pl, pr)) in plaintexts.iter().enumerate() {
-        // Plaintext i is captured by PL/PR at the end of cycle i; the
-        // S-box evaluates and the ciphertext registers capture during
-        // cycle i+1 (the leakage cycle); the new CL/CR values drive
-        // the outputs during cycle i+2.
-        let leak_cycle = i + 1;
-        traces.push(result.trace[leak_cycle * spc..(leak_cycle + 1) * spc].to_vec());
-        energies.push(result.cycle_energy_fj[leak_cycle]);
+    // Shared across every window simulation; building it per window
+    // would dominate the campaign's runtime.
+    let load = LoadModel::build(target.netlist, target.lib, target.parasitics);
+    // Windows are simulated noise-free; measurement noise is applied
+    // per trace below from its own (noise_seed, i) stream.
+    let window_cfg = SimConfig {
+        noise_sigma: 0.0,
+        ..cfg.clone()
+    };
+
+    // One work item per encryption. The datapath state feeding the
+    // leakage cycle of encryption i is fully determined by the two
+    // preceding plaintexts (PL/PR capture p(i) while CL/CR hold the
+    // result of p(i-1), computed from state set by p(i-2)), so a
+    // window of h = min(i, 2) history cycles, the leakage cycle, and
+    // two flush cycles reproduces the full campaign's leakage cycle
+    // exactly — including the reset-state boundary for i < 2, where
+    // the window is the campaign prefix itself.
+    let collected = par_map_range(n, |i| {
+        let h = i.min(2);
+        let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(h + 3);
+        for j in (i - h)..=i {
+            let (pl, pr) = plaintexts[j];
+            vectors.push(vector(pl, pr));
+        }
+        vectors.push(vector(0, 0));
+        vectors.push(vector(0, 0));
+
+        let result = match (target.wddl_inputs, target.glitch_free) {
+            (Some(pairs), _) => simulate_wddl_with_load(
+                target.netlist,
+                target.lib,
+                &load,
+                &window_cfg,
+                pairs,
+                &vectors,
+            ),
+            (None, false) => simulate_single_ended_with_load(
+                target.netlist,
+                target.lib,
+                &load,
+                &window_cfg,
+                &vectors,
+            ),
+            (None, true) => simulate_single_ended_glitch_free_with_load(
+                target.netlist,
+                target.lib,
+                &load,
+                &window_cfg,
+                &vectors,
+            ),
+        };
+
+        // Plaintext i is captured by PL/PR at the end of window cycle
+        // h; the S-box evaluates and the ciphertext registers capture
+        // during cycle h+1 (the leakage cycle); the new CL/CR values
+        // drive the outputs during cycle h+2.
+        let leak_cycle = h + 1;
+        let mut trace = result.trace[leak_cycle * spc..(leak_cycle + 1) * spc].to_vec();
+        if cfg.noise_sigma > 0.0 {
+            add_gaussian_noise(&mut trace, cfg.noise_sigma, split_seed(cfg.noise_seed, i as u64));
+        }
+        let energy = result.cycle_energy_fj[leak_cycle];
         let got = decode(&result.outputs_per_cycle[leak_cycle + 1]);
+        let (pl, pr) = plaintexts[i];
         let expect = encrypt(pl, pr, key);
         assert_eq!(
             got, expect,
             "simulated ciphertext disagrees with the model at encryption {i}"
         );
-        ciphertexts.push(got);
+        (trace, got, energy)
+    });
+
+    let mut traces = Vec::with_capacity(n);
+    let mut ciphertexts = Vec::with_capacity(n);
+    let mut energies = Vec::with_capacity(n);
+    for (trace, ct, energy) in collected {
+        traces.push(trace);
+        ciphertexts.push(ct);
+        energies.push(energy);
     }
 
     TraceSet {

@@ -1,0 +1,71 @@
+//! The harness's per-encryption window decomposition must be an exact
+//! refactoring of the original whole-campaign simulation: for the same
+//! seed, every trace and energy it produces is byte-identical to
+//! slicing one long n-encryption simulation — the property that lets
+//! the campaign parallelise without perturbing any result.
+
+use secflow_cells::Library;
+use secflow_crypto::dpa_module::des_dpa_design;
+use secflow_dpa::harness::{collect_des_traces, DesTarget};
+use secflow_rand::{RngExt, SeedableRng, StdRng};
+use secflow_sim::{simulate_single_ended, SimConfig};
+use secflow_synth::{map_design, MapOptions};
+
+#[test]
+fn window_traces_match_full_campaign() {
+    let lib = Library::lib180();
+    let mapped = map_design(&des_dpa_design(), &lib, &MapOptions::default()).expect("map");
+    let cfg = SimConfig {
+        samples_per_cycle: 40,
+        ..Default::default()
+    };
+    let key = 46u8;
+    let seed = 9u64;
+    let n = 8;
+
+    let target = DesTarget {
+        netlist: &mapped,
+        lib: &lib,
+        parasitics: None,
+        wddl_inputs: None,
+        glitch_free: false,
+    };
+    let set = collect_des_traces(&target, &cfg, key, n, seed);
+
+    // The original campaign: all n plaintexts from one sequential
+    // stream, simulated as one run, plus 2 flush cycles.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(u8, u8)> = (0..n)
+        .map(|_| (rng.random_range(0..16u8), rng.random_range(0..64u8)))
+        .collect();
+    let vector = |pl: u8, pr: u8| -> Vec<bool> {
+        let mut v = Vec::with_capacity(16);
+        for i in 0..4 {
+            v.push(pl >> i & 1 == 1);
+        }
+        for i in 0..6 {
+            v.push(pr >> i & 1 == 1);
+        }
+        for i in 0..6 {
+            v.push(key >> i & 1 == 1);
+        }
+        v
+    };
+    let mut vectors: Vec<Vec<bool>> = pts.iter().map(|&(pl, pr)| vector(pl, pr)).collect();
+    vectors.push(vector(0, 0));
+    vectors.push(vector(0, 0));
+    let result = simulate_single_ended(&mapped, &lib, None, &cfg, &vectors);
+
+    let spc = cfg.samples_per_cycle;
+    for i in 0..n {
+        let leak = i + 1;
+        let full = &result.trace[leak * spc..(leak + 1) * spc];
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(full), bits(&set.traces[i]), "trace {i}");
+        assert_eq!(
+            result.cycle_energy_fj[leak].to_bits(),
+            set.energies[i].to_bits(),
+            "energy {i}"
+        );
+    }
+}

@@ -25,8 +25,9 @@
 //! assert!(tech.c_ground_ff_per_track > 0.0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use secflow_exec::{par_map, tree_sum};
 use secflow_netlist::{NetId, Netlist};
 use secflow_pnr::{is_horizontal, RoutedDesign};
 
@@ -127,24 +128,34 @@ pub fn extract(design: &RoutedDesign, nl: &Netlist, tech: &Technology) -> Parasi
     let scale = f64::from(design.placed.pitch.tracks());
     let mut nets = vec![NetParasitics::default(); nl.net_count()];
 
-    // R and ground C per net.
-    for rn in &design.nets {
-        let p = &mut nets[rn.net.index()];
+    // R and ground C: one parallel task per routed net, partial sums
+    // merged in input order so the accumulation is thread-count
+    // independent.
+    let rc: Vec<(f64, f64)> = par_map(&design.nets, |rn| {
+        let (mut r, mut c) = (0.0f64, 0.0f64);
         for s in &rn.segments {
             if s.is_via() {
-                p.r_ohm += tech.r_via_ohm;
-                p.c_ground_ff += tech.c_via_ff;
+                r += tech.r_via_ohm;
+                c += tech.c_via_ff;
             } else {
                 let len = f64::from(s.len()) * scale;
-                p.r_ohm += len * tech.r_ohm_per_track;
-                p.c_ground_ff += len * tech.c_ground_ff_per_track;
+                r += len * tech.r_ohm_per_track;
+                c += len * tech.c_ground_ff_per_track;
             }
         }
+        (r, c)
+    });
+    for (rn, (r, c)) in design.nets.iter().zip(rc) {
+        let p = &mut nets[rn.net.index()];
+        p.r_ohm += r;
+        p.c_ground_ff += c;
     }
 
     // Coupling: same-layer parallel overlap. Horizontal wires couple
-    // across y; vertical wires across x.
-    let mut spans_by_layer: HashMap<u8, Vec<Span>> = HashMap::new();
+    // across y; vertical wires across x. Ordered maps everywhere:
+    // per-pair capacitance is a sum of f64 contributions, so the
+    // iteration (= accumulation) order must not depend on hashing.
+    let mut spans_by_layer: BTreeMap<u8, Vec<Span>> = BTreeMap::new();
     for rn in &design.nets {
         for s in &rn.segments {
             if s.is_via() {
@@ -160,11 +171,14 @@ pub fn extract(design: &RoutedDesign, nl: &Netlist, tech: &Technology) -> Parasi
             spans_by_layer.entry(s.a.layer).or_default().push(span);
         }
     }
-    let mut pair_cap: HashMap<(NetId, NetId), f64> = HashMap::new();
+    let mut pair_caps: BTreeMap<(NetId, NetId), Vec<f64>> = BTreeMap::new();
     for spans in spans_by_layer.values() {
-        couple_spans(spans, tech, scale, &mut pair_cap);
+        couple_spans(spans, tech, scale, &mut pair_caps);
     }
-    for ((a, b), c) in pair_cap {
+    for (&(a, b), caps) in &pair_caps {
+        // Fixed-shape reduction: the pair's total is one specific f64
+        // for a given contribution list, at any thread count.
+        let c = tree_sum(caps);
         nets[a.index()].couplings.push((b, c));
         nets[b.index()].couplings.push((a, c));
     }
@@ -175,19 +189,25 @@ pub fn extract(design: &RoutedDesign, nl: &Netlist, tech: &Technology) -> Parasi
     Parasitics { nets }
 }
 
-/// Accumulates coupling between parallel spans on one orientation.
+/// Collects coupling contributions between parallel spans on one
+/// orientation, keyed by ordered net pair. Parallel over occupied
+/// coordinates; each coordinate's contributions are generated in scan
+/// order and merged in coordinate order.
 fn couple_spans(
     spans: &[Span],
     tech: &Technology,
     scale: f64,
-    pair_cap: &mut HashMap<(NetId, NetId), f64>,
+    pair_caps: &mut BTreeMap<(NetId, NetId), Vec<f64>>,
 ) {
     // Bucket spans by their fixed coordinate.
-    let mut by_coord: HashMap<i32, Vec<&Span>> = HashMap::new();
+    let mut by_coord: BTreeMap<i32, Vec<&Span>> = BTreeMap::new();
     for s in spans {
         by_coord.entry(s.1).or_default().push(s);
     }
-    for (&c0, list) in &by_coord {
+    let coords: Vec<i32> = by_coord.keys().copied().collect();
+    let contribs: Vec<Vec<((NetId, NetId), f64)>> = par_map(&coords, |&c0| {
+        let list = &by_coord[&c0];
+        let mut out = Vec::new();
         for d in 1..=tech.coupling_range {
             let Some(other) = by_coord.get(&(c0 + d)) else {
                 continue;
@@ -203,9 +223,15 @@ fn couple_spans(
                     }
                     let cap = f64::from(overlap) * scale * tech.coupling_at(d);
                     let key = if na < nb { (na, nb) } else { (nb, na) };
-                    *pair_cap.entry(key).or_insert(0.0) += cap;
+                    out.push((key, cap));
                 }
             }
+        }
+        out
+    });
+    for list in contribs {
+        for (key, cap) in list {
+            pair_caps.entry(key).or_default().push(cap);
         }
     }
 }

@@ -340,6 +340,13 @@ pub fn check_equiv_random(
 
 /// Random-simulation variant of [`check_equiv_with_parity`].
 ///
+/// Rounds run in parallel (`secflow-exec`); each round's 64 random
+/// vectors come from an independent generator seeded by
+/// `split_seed(seed, round)`, so a round's stimulus does not depend
+/// on how many rounds precede it. When several rounds find a
+/// counterexample, the one from the lowest round index is reported —
+/// the result is byte-identical at any thread count.
+///
 /// # Errors
 ///
 /// Returns [`LecError`] if the interfaces do not correspond.
@@ -356,8 +363,8 @@ pub fn check_equiv_random_with_parity(
 ) -> Result<EquivReport, LecError> {
     let src = build_sources(nl_a, nl_b)?;
     let neg = vec![false; src.n_vars];
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..rounds {
+    let failures = secflow_exec::par_map_range(rounds, |round| -> Option<EquivReport> {
+        let mut rng = StdRng::seed_from_u64(secflow_rand::split_seed(seed, round as u64));
         let vars: Vec<u64> = (0..src.n_vars).map(|_| rng.random()).collect();
         let va = eval64(nl_a, lib_a, &src.var_nets_a, &vars, &neg);
         let vb = eval64(nl_b, lib_b, &src.var_nets_b, &vars, &neg);
@@ -370,7 +377,7 @@ pub fn check_equiv_random_with_parity(
             if diff != 0 {
                 let bit = diff.trailing_zeros();
                 let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
-                return Ok(EquivReport {
+                return Some(EquivReport {
                     equivalent: false,
                     failing_output: Some((i, cex)),
                     failing_register: None,
@@ -386,13 +393,19 @@ pub fn check_equiv_random_with_parity(
             if diff != 0 {
                 let bit = diff.trailing_zeros();
                 let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
-                return Ok(EquivReport {
+                return Some(EquivReport {
                     equivalent: false,
                     failing_output: None,
                     failing_register: Some((i, cex)),
                 });
             }
         }
+        None
+    });
+    // Results arrive in round order; the first failure is the lowest
+    // round's, independent of execution interleaving.
+    if let Some(report) = failures.into_iter().flatten().next() {
+        return Ok(report);
     }
     Ok(EquivReport {
         equivalent: true,

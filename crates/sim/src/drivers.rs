@@ -63,8 +63,23 @@ pub fn simulate_single_ended(
     input_vectors: &[Vec<bool>],
 ) -> SimResult {
     let load = LoadModel::build(nl, lib, parasitics);
+    simulate_single_ended_with_load(nl, lib, &load, cfg, input_vectors)
+}
+
+/// [`simulate_single_ended`] with a caller-built [`LoadModel`].
+///
+/// Building the load model walks every gate and net; callers that
+/// simulate the same netlist many times (trace campaigns) build it
+/// once and reuse it across runs.
+pub fn simulate_single_ended_with_load(
+    nl: &Netlist,
+    lib: &Library,
+    load: &LoadModel,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
     let n_cycles = input_vectors.len();
-    let mut engine = Engine::new(nl, lib, &load, cfg, n_cycles);
+    let mut engine = Engine::new(nl, lib, load, cfg, n_cycles);
     engine.settle_initial();
 
     // Registers: (gate, d-net, q-net).
@@ -133,8 +148,21 @@ pub fn simulate_wddl(
     input_vectors: &[Vec<bool>],
 ) -> SimResult {
     let load = LoadModel::build(nl, lib, parasitics);
+    simulate_wddl_with_load(nl, lib, &load, cfg, input_pairs, input_vectors)
+}
+
+/// [`simulate_wddl`] with a caller-built [`LoadModel`]; see
+/// [`simulate_single_ended_with_load`].
+pub fn simulate_wddl_with_load(
+    nl: &Netlist,
+    lib: &Library,
+    load: &LoadModel,
+    cfg: &SimConfig,
+    input_pairs: &[(NetId, NetId)],
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
     let n_cycles = input_vectors.len();
-    let mut engine = Engine::new(nl, lib, &load, cfg, n_cycles);
+    let mut engine = Engine::new(nl, lib, load, cfg, n_cycles);
     // All-zero is the natural WDDL precharge state; the differential
     // netlist is positive-monotone, so no settling is required, but it
     // is harmless and handles tie cells.
@@ -378,9 +406,21 @@ pub fn simulate_single_ended_glitch_free(
     cfg: &SimConfig,
     input_vectors: &[Vec<bool>],
 ) -> SimResult {
+    let load = LoadModel::build(nl, lib, parasitics);
+    simulate_single_ended_glitch_free_with_load(nl, lib, &load, cfg, input_vectors)
+}
+
+/// [`simulate_single_ended_glitch_free`] with a caller-built
+/// [`LoadModel`]; see [`simulate_single_ended_with_load`].
+pub fn simulate_single_ended_glitch_free_with_load(
+    nl: &Netlist,
+    lib: &Library,
+    load: &LoadModel,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> SimResult {
     use crate::functional::eval_comb;
 
-    let load = LoadModel::build(nl, lib, parasitics);
     let n_cycles = input_vectors.len();
     let spc = cfg.samples_per_cycle;
     let regs: Vec<(NetId, NetId)> = nl

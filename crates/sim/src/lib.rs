@@ -32,7 +32,9 @@ pub mod vcd;
 
 pub use config::SimConfig;
 pub use drivers::{
-    simulate_single_ended, simulate_single_ended_glitch_free, simulate_wddl, SimResult,
+    simulate_single_ended, simulate_single_ended_glitch_free,
+    simulate_single_ended_glitch_free_with_load, simulate_single_ended_with_load, simulate_wddl,
+    simulate_wddl_with_load, SimResult,
 };
 pub use engine::is_wddl_register;
 pub use load::LoadModel;

@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build (offline) =="
 cargo build --workspace --release --offline
 
-echo "== tier-1: test suite (offline) =="
-cargo test -q --workspace --offline
+echo "== tier-1: test suite (offline), serial and parallel =="
+for t in 1 4; do
+    echo "-- SECFLOW_THREADS=$t --"
+    SECFLOW_THREADS=$t cargo test -q --workspace --offline
+done
 
 echo "== tier-1: experiment smoke (Fig. 6 MTD pipeline, 150 traces) =="
 cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke

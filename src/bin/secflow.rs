@@ -18,7 +18,10 @@
 //!
 //! `--regular` runs the reference flow instead (`layout.def` +
 //! report). Options: `--fill <f>`, `--aspect <r>`, `--layers <n>`,
-//! `--seed <n>`, `--spaced`, `--shielded`.
+//! `--seed <n>`, `--spaced`, `--shielded`, `--threads <n>` (worker
+//! threads for the parallel stages; default `SECFLOW_THREADS` or all
+//! cores), `--restarts <n>` (independent placement-annealing
+//! restarts, best HPWL wins).
 
 use std::fs;
 use std::path::PathBuf;
@@ -41,7 +44,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: secflow <rtl.v> [--secure|--regular] [--out DIR] [--fill F] [--aspect R]\n\
-         \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]"
+         \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]\n\
+         \x20              [--threads N] [--restarts N]"
     );
     std::process::exit(2)
 }
@@ -79,6 +83,20 @@ fn parse_args() -> Args {
                 opts.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                secflow::exec::set_threads(n);
+            }
+            "--restarts" => {
+                opts.place_restarts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| usage())
             }
             "--spaced" => opts.decompose_style = DecomposeStyle::Spaced,

@@ -3,6 +3,7 @@ pub use secflow_cells as cells;
 pub use secflow_core as flow;
 pub use secflow_crypto as crypto;
 pub use secflow_dpa as dpa;
+pub use secflow_exec as exec;
 pub use secflow_extract as extract;
 pub use secflow_lec as lec;
 pub use secflow_netlist as netlist;
