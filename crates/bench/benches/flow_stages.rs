@@ -62,8 +62,7 @@ fn bench_decomposition(filter: &str) {
             ..Default::default()
         },
     );
-    let routed = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default())
-        .expect("route");
+    let routed = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default()).expect("route");
     bench("interconnect_decomposition_des", K, || {
         black_box(decompose(black_box(&routed), &sub));
     });
@@ -197,6 +196,148 @@ fn bench_exec_speedup(filter: &str) {
     }
 }
 
+/// Compiled kernel vs the original per-window-setup engine, on the
+/// same windowed WDDL trace campaign the DPA harness runs. The
+/// baseline is the frozen pre-compiled engine
+/// ([`secflow_bench::seed_engine`]); both are timed serially (thread
+/// count pinned to 1) so the measured ratio is pure kernel speedup,
+/// not parallelism. Results go to `results/BENCH_sim_kernel.json`;
+/// `--smoke` shrinks the campaign and skips the JSON (a CI
+/// compile-and-run check, not a measurement).
+fn bench_sim_kernel(filter: &str, smoke: bool) {
+    if !"sim_kernel".contains(filter) {
+        return;
+    }
+    use secflow_rand::{RngExt, SeedableRng, StdRng};
+    use secflow_sim::{CompiledSim, EngineScratch, LoadModel};
+
+    let lib = Library::lib180();
+    let mapped = map_design(&des_dpa_design(), &lib, &MapOptions::default()).expect("map");
+    let sub = substitute(&mapped, &lib).expect("substitute");
+    let nl = &sub.differential;
+    let wlib = &sub.diff_lib;
+    let pairs = &sub.input_pairs[..];
+    let cfg = SimConfig {
+        samples_per_cycle: 100,
+        ..Default::default()
+    };
+    let key = 46u8;
+    let n = if smoke { 8 } else { 256 };
+    let k = if smoke { 1 } else { K };
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let plaintexts: Vec<(u8, u8)> = (0..n)
+        .map(|_| (rng.random_range(0..16u8), rng.random_range(0..64u8)))
+        .collect();
+    let vector = |pl: u8, pr: u8| -> Vec<bool> {
+        let mut v = Vec::with_capacity(16);
+        for i in 0..4 {
+            v.push(pl >> i & 1 == 1);
+        }
+        for i in 0..6 {
+            v.push(pr >> i & 1 == 1);
+        }
+        for i in 0..6 {
+            v.push(key >> i & 1 == 1);
+        }
+        v
+    };
+    // The harness's window decomposition: h history cycles, the
+    // leakage cycle, two flush cycles.
+    let windows: Vec<Vec<Vec<bool>>> = (0..n)
+        .map(|i| {
+            let h = i.min(2);
+            let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(h + 3);
+            for j in (i - h)..=i {
+                let (pl, pr) = plaintexts[j];
+                vectors.push(vector(pl, pr));
+            }
+            vectors.push(vector(0, 0));
+            vectors.push(vector(0, 0));
+            vectors
+        })
+        .collect();
+    let spc = cfg.samples_per_cycle;
+
+    // Each campaign returns every leakage-cycle (trace, energy).
+    let baseline = || -> Vec<(Vec<f64>, f64)> {
+        let load = LoadModel::build(nl, wlib, None);
+        windows
+            .iter()
+            .map(|vectors| {
+                let r = secflow_bench::seed_engine::simulate_wddl_window(
+                    nl, wlib, &load, &cfg, pairs, vectors,
+                );
+                let leak = vectors.len() - 2 - 1;
+                (
+                    r.trace[leak * spc..(leak + 1) * spc].to_vec(),
+                    r.cycle_energy_fj[leak],
+                )
+            })
+            .collect()
+    };
+    let compiled = || -> Vec<(Vec<f64>, f64)> {
+        let load = LoadModel::build(nl, wlib, None);
+        let comp = CompiledSim::build(nl, wlib, &load, &cfg).expect("compiles");
+        let mut scratch = EngineScratch::new();
+        windows
+            .iter()
+            .map(|vectors| {
+                comp.run_wddl(&mut scratch, pairs, vectors);
+                let leak = vectors.len() - 2 - 1;
+                (
+                    scratch.cycle_trace(leak).to_vec(),
+                    scratch.cycle_energy_fj()[leak],
+                )
+            })
+            .collect()
+    };
+
+    // The baseline only earns its name if it is bit-for-bit the same
+    // function: any drift would make the speedup meaningless.
+    let a = baseline();
+    let b = compiled();
+    assert_eq!(a.len(), b.len());
+    for (i, ((ta, ea), (tb, eb))) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ea.to_bits(), eb.to_bits(), "energy {i} diverged");
+        let bits = |t: &[f64]| t.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(ta), bits(tb), "trace {i} diverged");
+    }
+
+    let base = secflow_exec::with_threads(1, || {
+        time_median(
+            &format!("sim_kernel/per_window_setup_{n}_encryptions"),
+            k,
+            || {
+                black_box(baseline());
+            },
+        )
+    });
+    let comp = secflow_exec::with_threads(1, || {
+        time_median(&format!("sim_kernel/compiled_{n}_encryptions"), k, || {
+            black_box(compiled());
+        })
+    });
+    println!("{}", base.json_line());
+    println!("{}", comp.json_line());
+    let speedup = base.median_ns as f64 / comp.median_ns as f64;
+    let json = format!(
+        "{{\"bench\":\"sim_kernel\",\"threads\":1,\"n_encryptions\":{n},\
+         \"baseline_median_ns\":{},\"compiled_median_ns\":{},\
+         \"speedup\":{speedup:.3},\"k\":{k}}}",
+        base.median_ns, comp.median_ns
+    );
+    println!("{json}");
+    if smoke {
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_sim_kernel.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench -- <substring>` runs only matching groups; the
     // harness also swallows libtest-style flags cargo may pass.
@@ -204,7 +345,8 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    const GROUPS: [&str; 7] = [
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    const GROUPS: [&str; 8] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
@@ -212,6 +354,7 @@ fn main() {
         "lec_fat_vs_original_des",
         "dpa_pipeline",
         "exec_speedup",
+        "sim_kernel",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
         eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
@@ -224,4 +367,5 @@ fn main() {
     bench_lec(&filter);
     bench_power_sim_and_attack(&filter);
     bench_exec_speedup(&filter);
+    bench_sim_kernel(&filter, smoke);
 }

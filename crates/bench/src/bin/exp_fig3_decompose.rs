@@ -95,8 +95,8 @@ fn main() {
             ..Default::default()
         },
     );
-    let fat = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default())
-        .expect("fat routing");
+    let fat =
+        route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default()).expect("fat routing");
     let diff = decompose(&fat, &sub);
 
     println!("=== Fig. 3 reproduction: fat design (left) vs differential design (right) ===\n");

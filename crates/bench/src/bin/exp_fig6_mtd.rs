@@ -26,7 +26,10 @@ fn main() {
     args.retain(|a| a != "--smoke");
     let mut args = args.into_iter();
     let default_n = if smoke { 150 } else { 2000 };
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(default_n);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_n);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
     let step = (n / 40).max(10);
 
@@ -36,8 +39,14 @@ fn main() {
 
     eprintln!("simulating {n} encryptions on each implementation (K = {PAPER_KEY})...");
     let sets = [
-        ("reference", collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed)),
-        ("secure", collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed)),
+        (
+            "reference",
+            collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed),
+        ),
+        (
+            "secure",
+            collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed),
+        ),
     ];
 
     header("Fig. 6 (top): measurements to disclosure");
@@ -45,7 +54,10 @@ fn main() {
     for (name, set) in &sets {
         let scan = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector());
         println!("\n--- {name} implementation ---");
-        println!("{:>8} {:>12} {:>14} {:>10}", "traces", "correct pk", "best wrong pk", "disclosed");
+        println!(
+            "{:>8} {:>12} {:>14} {:>10}",
+            "traces", "correct pk", "best wrong pk", "disclosed"
+        );
         for p in &scan.points {
             println!(
                 "{:>8} {:>12.4} {:>14.4} {:>10}",

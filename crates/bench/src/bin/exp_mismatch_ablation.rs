@@ -15,11 +15,11 @@
 //! Usage: `exp_mismatch_ablation [n_traces] [seed]` (defaults 1000, 1).
 
 use secflow_bench::{build_des_implementations, header_cols, paper_sim_config, row};
+use secflow_core::{decompose_styled, DecomposeStyle};
 use secflow_crypto::dpa_module::PAPER_KEY;
 use secflow_dpa::attack::mtd_scan;
-use secflow_dpa::stats::EnergyStats;
 use secflow_dpa::harness::{collect_des_traces, DesTarget};
-use secflow_core::{decompose_styled, DecomposeStyle};
+use secflow_dpa::stats::EnergyStats;
 use secflow_extract::{extract, pair_mismatch, Technology};
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
 
@@ -117,8 +117,8 @@ fn main() {
         lib: &sub.diff_lib,
         parasitics: Some(&naive_par),
         wddl_inputs: Some(&sub.input_pairs),
-            glitch_free: false,
-        };
+        glitch_free: false,
+    };
     let naive_set = collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed);
 
     let paper_scan = mtd_scan(&paper_set.traces, 64, PAPER_KEY, step, paper_set.selector());

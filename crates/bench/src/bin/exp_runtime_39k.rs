@@ -82,8 +82,7 @@ fn main() {
     eprintln!("generating and mapping the synthetic design...");
     let design = synthetic_design("proto39k", target, 128, seed);
     let t = Instant::now();
-    let mapped = map_design(&design, &Library::lib180(), &MapOptions::default())
-        .expect("mapping");
+    let mapped = map_design(&design, &Library::lib180(), &MapOptions::default()).expect("mapping");
     let synth_s = t.elapsed().as_secs_f64();
     println!(
         "mapped netlist: {} ({synth_s:.1} s synthesis)",

@@ -51,7 +51,8 @@ fn main() {
         Some(&imps.regular.parasitics),
         &cfg,
         &vectors,
-    );
+    )
+    .expect("regular netlist simulates");
     let sec = simulate_wddl(
         &imps.secure.substitution.differential,
         &imps.secure.substitution.diff_lib,
@@ -59,7 +60,8 @@ fn main() {
         &cfg,
         &imps.secure.substitution.input_pairs,
         &vectors,
-    );
+    )
+    .expect("WDDL netlist simulates");
 
     // Skip warm-up cycles (registers settling).
     let skip = 4;

@@ -2,6 +2,8 @@
 //! paper's two DES-module implementations (regular flow vs secure
 //! flow) and provides consistent reporting helpers.
 
+pub mod seed_engine;
+
 use secflow_cells::Library;
 use secflow_core::{
     run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,

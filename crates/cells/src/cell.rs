@@ -57,11 +57,7 @@ impl LibCell {
             CellFunction::WddlDff => (2, 2),
             CellFunction::Tie(_) => (0, 1),
         };
-        assert_eq!(
-            pin_caps_ff.len(),
-            n_in,
-            "cell needs one pin cap per input"
-        );
+        assert_eq!(pin_caps_ff.len(), n_in, "cell needs one pin cap per input");
         assert_eq!(physical.input_pin_tracks.len(), n_in);
         assert_eq!(physical.output_pin_tracks.len(), n_out);
         LibCell {

@@ -92,11 +92,7 @@ impl Library {
                     let _ = writeln!(s, "    ff_pair (IQT, IQF) {{ next_state : \"D A\"; }}");
                     let _ = writeln!(s, "    pin (Q) {{ direction : output; }}");
                     let _ = writeln!(s, "    pin (Q1) {{ direction : output; }}");
-                    let _ = writeln!(
-                        s,
-                        "    intrinsic_delay : {:.1};",
-                        cell.intrinsic_delay_ps()
-                    );
+                    let _ = writeln!(s, "    intrinsic_delay : {:.1};", cell.intrinsic_delay_ps());
                     let _ = writeln!(s, "    drive_resistance : {:.2};", cell.drive_kohm());
                 }
                 CellFunction::Tie(v) => {
@@ -137,18 +133,10 @@ impl Library {
                 ROW_HEIGHT_UM * f64::from(pitch_tracks)
             );
             for (i, &t) in mac.input_pin_tracks.iter().enumerate() {
-                let _ = writeln!(
-                    s,
-                    "  PIN IN{i} X {:.3} ;",
-                    f64::from(t) * pitch
-                );
+                let _ = writeln!(s, "  PIN IN{i} X {:.3} ;", f64::from(t) * pitch);
             }
             for (i, &t) in mac.output_pin_tracks.iter().enumerate() {
-                let _ = writeln!(
-                    s,
-                    "  PIN OUT{i} X {:.3} ;",
-                    f64::from(t) * pitch
-                );
+                let _ = writeln!(s, "  PIN OUT{i} X {:.3} ;", f64::from(t) * pitch);
             }
             let _ = writeln!(s, "END {}", cell.name());
         }
@@ -210,7 +198,11 @@ pub struct ParseLibertyError {
 
 impl std::fmt::Display for ParseLibertyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "liberty parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "liberty parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -421,7 +413,10 @@ mod liberty_roundtrip_tests {
                 ),
             }
             assert_eq!(p.input_count(), cell.input_count());
-            assert!((p.area_um2() - cell.area_um2()).abs() < 2.0 * crate::lef::TRACK_UM * crate::lef::ROW_HEIGHT_UM);
+            assert!(
+                (p.area_um2() - cell.area_um2()).abs()
+                    < 2.0 * crate::lef::TRACK_UM * crate::lef::ROW_HEIGHT_UM
+            );
             assert!((p.drive_kohm() - cell.drive_kohm()).abs() < 0.01);
             assert!((p.intrinsic_delay_ps() - cell.intrinsic_delay_ps()).abs() < 0.1);
             for i in 0..cell.input_count() {

@@ -44,9 +44,7 @@ impl LefMacro {
         // Distribute pins on distinct tracks: inputs from the left,
         // outputs from the right.
         let input_pin_tracks = (0..n_in as u32).collect();
-        let output_pin_tracks = (0..n_out as u32)
-            .map(|i| width_tracks - 1 - i)
-            .collect();
+        let output_pin_tracks = (0..n_out as u32).map(|i| width_tracks - 1 - i).collect();
         LefMacro {
             width_tracks,
             input_pin_tracks,

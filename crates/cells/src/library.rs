@@ -56,6 +56,24 @@ impl Library {
         self.by_name.get(name).map(|&i| &self.cells[i])
     }
 
+    /// Looks up a cell's index by name. The index is stable for the
+    /// lifetime of the library and resolves via [`Library::cell_at`]
+    /// without hashing — compiled simulation kernels resolve each
+    /// distinct cell name once and index thereafter.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The cell at `index` (as returned by [`Library::index_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn cell_at(&self, index: usize) -> &LibCell {
+        &self.cells[index]
+    }
+
     /// All cells.
     pub fn cells(&self) -> &[LibCell] {
         &self.cells
@@ -179,7 +197,15 @@ impl Library {
         comb("INV", 1, &|x| !bit(x, 0), 3, 2.2, 4.0, 25.0);
         comb("BUF", 1, &|x| bit(x, 0), 4, 2.0, 3.0, 45.0);
 
-        comb("NAND2", 2, &|x| !(bit(x, 0) && bit(x, 1)), 4, 2.1, 3.8, 35.0);
+        comb(
+            "NAND2",
+            2,
+            &|x| !(bit(x, 0) && bit(x, 1)),
+            4,
+            2.1,
+            3.8,
+            35.0,
+        );
         comb(
             "NAND3",
             3,
@@ -219,46 +245,14 @@ impl Library {
         );
 
         comb("AND2", 2, &|x| bit(x, 0) && bit(x, 1), 5, 2.0, 4.0, 55.0);
-        comb(
-            "AND3",
-            3,
-            &|x| (0..3).all(|i| bit(x, i)),
-            6,
-            2.1,
-            4.2,
-            62.0,
-        );
-        comb(
-            "AND4",
-            4,
-            &|x| (0..4).all(|i| bit(x, i)),
-            7,
-            2.2,
-            4.5,
-            70.0,
-        );
+        comb("AND3", 3, &|x| (0..3).all(|i| bit(x, i)), 6, 2.1, 4.2, 62.0);
+        comb("AND4", 4, &|x| (0..4).all(|i| bit(x, i)), 7, 2.2, 4.5, 70.0);
         comb("OR2", 2, &|x| bit(x, 0) || bit(x, 1), 5, 2.0, 4.2, 58.0);
         comb("OR3", 3, &|x| (0..3).any(|i| bit(x, i)), 6, 2.1, 4.5, 66.0);
         comb("OR4", 4, &|x| (0..4).any(|i| bit(x, i)), 7, 2.2, 4.8, 74.0);
 
-        comb(
-            "XOR2",
-            2,
-            &|x| bit(x, 0) ^ bit(x, 1),
-            7,
-            2.6,
-            4.5,
-            70.0,
-        );
-        comb(
-            "XNOR2",
-            2,
-            &|x| !(bit(x, 0) ^ bit(x, 1)),
-            7,
-            2.6,
-            4.5,
-            70.0,
-        );
+        comb("XOR2", 2, &|x| bit(x, 0) ^ bit(x, 1), 7, 2.6, 4.5, 70.0);
+        comb("XNOR2", 2, &|x| !(bit(x, 0) ^ bit(x, 1)), 7, 2.6, 4.5, 70.0);
 
         comb(
             "AOI21",
@@ -290,9 +284,7 @@ impl Library {
         comb(
             "AOI33",
             6,
-            &|x| {
-                !((bit(x, 0) && bit(x, 1) && bit(x, 2)) || (bit(x, 3) && bit(x, 4) && bit(x, 5)))
-            },
+            &|x| !((bit(x, 0) && bit(x, 1) && bit(x, 2)) || (bit(x, 3) && bit(x, 4) && bit(x, 5))),
             8,
             2.5,
             5.0,
@@ -328,9 +320,7 @@ impl Library {
         comb(
             "OAI33",
             6,
-            &|x| {
-                !((bit(x, 0) || bit(x, 1) || bit(x, 2)) && (bit(x, 3) || bit(x, 4) || bit(x, 5)))
-            },
+            &|x| !((bit(x, 0) || bit(x, 1) || bit(x, 2)) && (bit(x, 3) || bit(x, 4) || bit(x, 5))),
             8,
             2.5,
             5.0,
@@ -407,8 +397,8 @@ mod tests {
     fn lib180_has_core_cells() {
         let lib = Library::lib180();
         for name in [
-            "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI32", "OAI32", "MUX2",
-            "DFF", "TIELO", "TIEHI",
+            "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "AOI32", "OAI32", "MUX2", "DFF",
+            "TIELO", "TIEHI",
         ] {
             assert!(lib.by_name(name).is_some(), "{name} missing");
         }
@@ -426,6 +416,19 @@ mod tests {
             !(a || b)
         });
         assert_eq!(aoi32, &expect);
+    }
+
+    #[test]
+    fn index_resolution_matches_by_name() {
+        let lib = Library::lib180();
+        for cell in lib.cells() {
+            let i = lib.index_of(cell.name()).expect("indexed");
+            assert!(std::ptr::eq(
+                lib.cell_at(i),
+                lib.by_name(cell.name()).unwrap()
+            ));
+        }
+        assert_eq!(lib.index_of("NO_SUCH_CELL"), None);
     }
 
     #[test]
@@ -474,7 +477,9 @@ mod tests {
     fn find_match_respects_allowlist() {
         let lib = Library::lib180();
         let allowed = |n: &str| n == "NOR2";
-        assert!(lib.find_match(&TruthTable::and2(), Some(&allowed)).is_none());
+        assert!(lib
+            .find_match(&TruthTable::and2(), Some(&allowed))
+            .is_none());
     }
 
     #[test]

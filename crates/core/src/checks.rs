@@ -152,7 +152,11 @@ pub fn verify_rail_complementarity(
 
     for _ in 0..rounds {
         // Random source assignment.
-        let pi_vals: Vec<bool> = original.inputs().iter().map(|_| rng.next() & 1 == 1).collect();
+        let pi_vals: Vec<bool> = original
+            .inputs()
+            .iter()
+            .map(|_| rng.next() & 1 == 1)
+            .collect();
         let reg_vals: Vec<bool> = orig_regs.iter().map(|_| rng.next() & 1 == 1).collect();
 
         let mut orig_forced: Vec<(NetId, bool)> = original
@@ -187,12 +191,7 @@ pub fn verify_rail_complementarity(
             }
         }
         // Output pairs reproduce the original outputs.
-        for (i, (&po, &(t, _))) in original
-            .outputs()
-            .iter()
-            .zip(&sub.output_pairs)
-            .enumerate()
-        {
+        for (i, (&po, &(t, _))) in original.outputs().iter().zip(&sub.output_pairs).enumerate() {
             if orig_values[po.index()] != diff_values[t.index()] {
                 return Err(RailCheckError::OutputMismatch { index: i });
             }

@@ -78,11 +78,8 @@ pub fn decompose_styled(
         GridPitch::Fat,
         "decomposition applies to fat-routed designs"
     );
-    let pair_of: HashMap<NetId, (NetId, NetId)> = sub
-        .pairs
-        .iter()
-        .map(|p| (p.fat, (p.t, p.f)))
-        .collect();
+    let pair_of: HashMap<NetId, (NetId, NetId)> =
+        sub.pairs.iter().map(|p| (p.fat, (p.t, p.f))).collect();
 
     let fp = &fat_routed.placed;
     let k = style.scale();
@@ -151,8 +148,14 @@ pub fn decompose_styled(
             .iter()
             .map(|s| Segment::new(shift_point(s.a), shift_point(s.b)))
             .collect();
-        nets.push(RoutedNet { net: t, segments: seg_t });
-        nets.push(RoutedNet { net: f, segments: seg_f });
+        nets.push(RoutedNet {
+            net: t,
+            segments: seg_t,
+        });
+        nets.push(RoutedNet {
+            net: f,
+            segments: seg_f,
+        });
         if style == DecomposeStyle::Shielded {
             // Grounded guard wires along both sides of the pair; vias
             // are skipped (the shield lives per layer) and tracks
@@ -276,11 +279,7 @@ mod tests {
         let d = decompose(&routed, &sub);
         let tech = secflow_extract::Technology::default();
         let par = secflow_extract::extract(&d, &sub.differential, &tech);
-        let pairs: Vec<(NetId, NetId)> = d
-            .nets
-            .chunks(2)
-            .map(|c| (c[0].net, c[1].net))
-            .collect();
+        let pairs: Vec<(NetId, NetId)> = d.nets.chunks(2).map(|c| (c[0].net, c[1].net)).collect();
         let reports = secflow_extract::pair_mismatch(&par, &pairs);
         for r in reports {
             assert!(r.relative < 1e-9, "mismatch {}", r.relative);

@@ -345,7 +345,12 @@ pub fn run_secure_backend(
     let place_ms = ms(t);
 
     let t = Instant::now();
-    let fat_routed = route(&substitution.fat, &substitution.fat_lib, &fat_placed, &opts.route)?;
+    let fat_routed = route(
+        &substitution.fat,
+        &substitution.fat_lib,
+        &fat_placed,
+        &opts.route,
+    )?;
     let route_ms = ms(t);
 
     let t = Instant::now();
@@ -400,10 +405,7 @@ pub fn run_secure_backend(
     } else {
         (
             routed_pairs.iter().map(|m| m.relative).sum::<f64>() / routed_pairs.len() as f64,
-            routed_pairs
-                .iter()
-                .map(|m| m.relative)
-                .fold(0.0, f64::max),
+            routed_pairs.iter().map(|m| m.relative).fold(0.0, f64::max),
         )
     };
 
@@ -423,8 +425,13 @@ pub fn run_secure_backend(
         sink_cap_ff: 2.0 * ClockOptions::default().sink_cap_ff,
         ..Default::default()
     };
-    let clock = build_clock_tree(&substitution.fat, &substitution.fat_lib, &fat_placed, &clock_opts)
-        .map(|t| t.report(&clock_opts));
+    let clock = build_clock_tree(
+        &substitution.fat,
+        &substitution.fat_lib,
+        &fat_placed,
+        &clock_opts,
+    )
+    .map(|t| t.report(&clock_opts));
     let report = FlowReport {
         stats: NetlistStats::of(&substitution.differential),
         die_area_um2: w_tracks * TRACK_UM * h_tracks * TRACK_UM,

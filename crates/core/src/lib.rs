@@ -54,5 +54,5 @@ pub use flow::{
     run_regular_backend, run_regular_flow, run_secure_backend, run_secure_flow, FlowError,
     FlowOptions, FlowReport, RegularFlowResult, SecureFlowResult,
 };
-pub use substitute::{substitute, FatPair, Substitution, SubstituteError};
+pub use substitute::{substitute, FatPair, SubstituteError, Substitution};
 pub use wddl::{WddlCompound, WddlLibrary, WDDL_DFFN_FAT, WDDL_DFF_FAT, WDDL_REGISTER};

@@ -328,11 +328,7 @@ pub fn substitute(nl: &Netlist, base: &Library) -> Result<Substitution, Substitu
     let mut pairs = Vec::new();
     for (orig, fat_id) in &fat_net {
         let (t, f) = rails[orig];
-        pairs.push(FatPair {
-            fat: *fat_id,
-            t,
-            f,
-        });
+        pairs.push(FatPair { fat: *fat_id, t, f });
     }
     pairs.sort_by_key(|p| p.fat);
 

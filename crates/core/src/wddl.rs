@@ -404,7 +404,10 @@ mod tests {
         assert_eq!(c.true_net.gates[0].cell, "BUF");
         assert_eq!(
             c.true_net.gates[0].inputs[0],
-            PrimSrc::Rail { input: 0, complement: true }
+            PrimSrc::Rail {
+                input: 0,
+                complement: true
+            }
         );
     }
 

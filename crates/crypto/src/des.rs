@@ -99,10 +99,11 @@ pub fn lut_circuit(
             let minterms: Vec<Lit> = (0..(1u32 << n))
                 .filter(|&v| table(v) >> j & 1 == 1)
                 .map(|v| {
-                    let lits = inputs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &l)| if v >> i & 1 == 1 { l } else { l.not() });
+                    let lits =
+                        inputs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &l)| if v >> i & 1 == 1 { l } else { l.not() });
                     aig.and_all(lits.collect::<Vec<_>>())
                 })
                 .collect();
@@ -148,7 +149,9 @@ mod tests {
             let outs = sbox_circuit(&mut d.aig, s, &ins);
             d.output_bus("y", &outs);
             for v in 0..64u64 {
-                let in_words: Vec<u64> = (0..6).map(|i| if v >> i & 1 == 1 { !0 } else { 0 }).collect();
+                let in_words: Vec<u64> = (0..6)
+                    .map(|i| if v >> i & 1 == 1 { !0 } else { 0 })
+                    .collect();
                 let (o, _) = secflow_synth::simulate_comb(&d, &in_words, &[]);
                 let got = (0..4).fold(0u8, |acc, j| acc | (((o[j] & 1) as u8) << j));
                 assert_eq!(got, sbox(s, v as u8), "S{} at {v}", s + 1);
@@ -163,7 +166,9 @@ mod tests {
         let outs = lut_circuit(&mut d.aig, &ins, |v| v, 3);
         d.output_bus("y", &outs);
         for v in 0..8u64 {
-            let in_words: Vec<u64> = (0..3).map(|i| if v >> i & 1 == 1 { !0 } else { 0 }).collect();
+            let in_words: Vec<u64> = (0..3)
+                .map(|i| if v >> i & 1 == 1 { !0 } else { 0 })
+                .collect();
             let (o, _) = secflow_synth::simulate_comb(&d, &in_words, &[]);
             let got = (0..3).fold(0u64, |acc, j| acc | ((o[j] & 1) << j));
             assert_eq!(got, v);

@@ -111,10 +111,7 @@ mod tests {
         for pl in 0..16u8 {
             for pr in (0..64u8).step_by(7) {
                 let (cl, cr) = encrypt(pl, pr, PAPER_KEY);
-                assert_eq!(
-                    selection(PAPER_KEY, cl, cr),
-                    pl >> SELECTION_BIT & 1 == 1
-                );
+                assert_eq!(selection(PAPER_KEY, cl, cr), pl >> SELECTION_BIT & 1 == 1);
             }
         }
     }

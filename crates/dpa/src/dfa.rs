@@ -10,7 +10,7 @@
 use secflow_cells::Library;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
-use secflow_sim::{simulate_wddl, SimConfig, SimResult};
+use secflow_sim::{simulate_wddl, CompiledSim, EngineScratch, LoadModel, SimConfig, SimResult};
 
 /// One point of a clock-glitch sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +42,12 @@ pub fn glitch_sweep(
     vectors: &[Vec<bool>],
     fractions: &[f64],
 ) -> Vec<GlitchPoint> {
-    let nominal = simulate_wddl(nl, lib, parasitics, base_cfg, input_pairs, vectors);
+    let nominal = simulate_wddl(nl, lib, parasitics, base_cfg, input_pairs, vectors)
+        .expect("WDDL netlist simulates");
+    // The load model is clock-independent; share it across the sweep
+    // and recompile only the (cheap) per-fraction timing.
+    let load = LoadModel::build(nl, lib, parasitics);
+    let mut scratch = EngineScratch::new();
     fractions
         .iter()
         .map(|&frac| {
@@ -50,8 +55,9 @@ pub fn glitch_sweep(
                 precharge_fraction: frac,
                 ..base_cfg.clone()
             };
-            let run = simulate_wddl(nl, lib, parasitics, &cfg, input_pairs, vectors);
-            summarize(&nominal, &run, frac)
+            let comp = CompiledSim::build(nl, lib, &load, &cfg).expect("WDDL netlist compiles");
+            comp.run_wddl(&mut scratch, input_pairs, vectors);
+            summarize(&nominal, &scratch.take_sim_result(), frac)
         })
         .collect()
 }
@@ -70,8 +76,7 @@ fn summarize(nominal: &SimResult, run: &SimResult, frac: f64) -> GlitchPoint {
             // The wrong value was captured in some earlier cycle; the
             // alarm for capture at cycle c-1 covers outputs at c. Check
             // the current and previous cycles.
-            let alarmed = run.wddl_alarms[c] > 0
-                || (c > 0 && run.wddl_alarms[c - 1] > 0);
+            let alarmed = run.wddl_alarms[c] > 0 || (c > 0 && run.wddl_alarms[c - 1] > 0);
             if !alarmed {
                 all_detected = false;
             }
@@ -105,8 +110,20 @@ mod tests {
         for i in 0..6 {
             let nt = nl.add_net(format!("n{i}_t"));
             let nf = nl.add_net(format!("n{i}_f"));
-            nl.add_gate(format!("g{i}_t"), "AND2", GateKind::Comb, vec![t, bt], vec![nt]);
-            nl.add_gate(format!("g{i}_f"), "OR2", GateKind::Comb, vec![f, bf], vec![nf]);
+            nl.add_gate(
+                format!("g{i}_t"),
+                "AND2",
+                GateKind::Comb,
+                vec![t, bt],
+                vec![nt],
+            );
+            nl.add_gate(
+                format!("g{i}_f"),
+                "OR2",
+                GateKind::Comb,
+                vec![f, bf],
+                vec![nf],
+            );
             t = nt;
             f = nf;
         }
@@ -150,15 +167,7 @@ mod tests {
             ..Default::default()
         };
         let vectors = vec![vec![true, true]; 4];
-        let pts = glitch_sweep(
-            &nl,
-            &lib,
-            None,
-            &cfg,
-            &pairs,
-            &vectors,
-            &[0.5, 0.9, 0.99],
-        );
+        let pts = glitch_sweep(&nl, &lib, None, &cfg, &pairs, &vectors, &[0.5, 0.9, 0.99]);
         // Squeezing evaluation to 1% must starve the 6-gate chain.
         let worst = &pts[2];
         assert!(worst.alarms > 0, "no alarm at 1% evaluation");

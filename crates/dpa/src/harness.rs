@@ -20,13 +20,10 @@ use secflow_rand::{split_seed, RngExt, SeedableRng, StdRng};
 
 use secflow_cells::Library;
 use secflow_crypto::dpa_module::{encrypt, selection};
-use secflow_exec::par_map_range;
+use secflow_exec::par_map_range_with;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
-use secflow_sim::{
-    add_gaussian_noise, simulate_single_ended_glitch_free_with_load,
-    simulate_single_ended_with_load, simulate_wddl_with_load, LoadModel, SimConfig,
-};
+use secflow_sim::{add_gaussian_noise, CompiledSim, EngineScratch, LoadModel, SimConfig};
 
 /// A simulated implementation of the DES DPA module.
 #[derive(Debug, Clone, Copy)]
@@ -125,15 +122,18 @@ pub fn collect_des_traces(
         (cl, cr)
     };
 
-    // Shared across every window simulation; building it per window
-    // would dominate the campaign's runtime.
+    // Compiled once, shared read-only across every window simulation:
+    // cell resolution, fanout adjacency, loads and the topological
+    // order all happen here instead of per window. Windows are
+    // simulated noise-free; measurement noise is applied per trace
+    // below from its own (noise_seed, i) stream.
     let load = LoadModel::build(target.netlist, target.lib, target.parasitics);
-    // Windows are simulated noise-free; measurement noise is applied
-    // per trace below from its own (noise_seed, i) stream.
     let window_cfg = SimConfig {
         noise_sigma: 0.0,
         ..cfg.clone()
     };
+    let comp = CompiledSim::build(target.netlist, target.lib, &load, &window_cfg)
+        .expect("DES target compiles for simulation");
 
     // One work item per encryption. The datapath state feeding the
     // leakage cycle of encryption i is fully determined by the two
@@ -143,7 +143,9 @@ pub fn collect_des_traces(
     // two flush cycles reproduces the full campaign's leakage cycle
     // exactly — including the reset-state boundary for i < 2, where
     // the window is the campaign prefix itself.
-    let collected = par_map_range(n, |i| {
+    // Each pool worker keeps one engine scratch, reset per window, so
+    // the steady-state campaign allocates nothing in the simulator.
+    let collected = par_map_range_with(n, EngineScratch::new, |scratch, i| {
         let h = i.min(2);
         let mut vectors: Vec<Vec<bool>> = Vec::with_capacity(h + 3);
         for j in (i - h)..=i {
@@ -153,42 +155,27 @@ pub fn collect_des_traces(
         vectors.push(vector(0, 0));
         vectors.push(vector(0, 0));
 
-        let result = match (target.wddl_inputs, target.glitch_free) {
-            (Some(pairs), _) => simulate_wddl_with_load(
-                target.netlist,
-                target.lib,
-                &load,
-                &window_cfg,
-                pairs,
-                &vectors,
-            ),
-            (None, false) => simulate_single_ended_with_load(
-                target.netlist,
-                target.lib,
-                &load,
-                &window_cfg,
-                &vectors,
-            ),
-            (None, true) => simulate_single_ended_glitch_free_with_load(
-                target.netlist,
-                target.lib,
-                &load,
-                &window_cfg,
-                &vectors,
-            ),
-        };
+        match (target.wddl_inputs, target.glitch_free) {
+            (Some(pairs), _) => comp.run_wddl(scratch, pairs, &vectors),
+            (None, false) => comp.run_single_ended(scratch, &vectors),
+            (None, true) => comp.run_single_ended_glitch_free(scratch, &vectors),
+        }
 
         // Plaintext i is captured by PL/PR at the end of window cycle
         // h; the S-box evaluates and the ciphertext registers capture
         // during cycle h+1 (the leakage cycle); the new CL/CR values
         // drive the outputs during cycle h+2.
         let leak_cycle = h + 1;
-        let mut trace = result.trace[leak_cycle * spc..(leak_cycle + 1) * spc].to_vec();
+        let mut trace = scratch.cycle_trace(leak_cycle).to_vec();
         if cfg.noise_sigma > 0.0 {
-            add_gaussian_noise(&mut trace, cfg.noise_sigma, split_seed(cfg.noise_seed, i as u64));
+            add_gaussian_noise(
+                &mut trace,
+                cfg.noise_sigma,
+                split_seed(cfg.noise_seed, i as u64),
+            );
         }
-        let energy = result.cycle_energy_fj[leak_cycle];
-        let got = decode(&result.outputs_per_cycle[leak_cycle + 1]);
+        let energy = scratch.cycle_energy_fj()[leak_cycle];
+        let got = decode(scratch.outputs(leak_cycle + 1));
         let (pl, pr) = plaintexts[i];
         let expect = encrypt(pl, pr, key);
         assert_eq!(

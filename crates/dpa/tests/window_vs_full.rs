@@ -54,7 +54,7 @@ fn window_traces_match_full_campaign() {
     let mut vectors: Vec<Vec<bool>> = pts.iter().map(|&(pl, pr)| vector(pl, pr)).collect();
     vectors.push(vector(0, 0));
     vectors.push(vector(0, 0));
-    let result = simulate_single_ended(&mapped, &lib, None, &cfg, &vectors);
+    let result = simulate_single_ended(&mapped, &lib, None, &cfg, &vectors).unwrap();
 
     let spc = cfg.samples_per_cycle;
     for i in 0..n {

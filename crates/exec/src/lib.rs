@@ -13,6 +13,10 @@
 //!   (chunked work stealing), tag every result with its item index,
 //!   and the results are reassembled in input order. Item `i`'s value
 //!   therefore never depends on which worker computed it or when.
+//! * [`par_map_range_with`] — the same decomposition with a reusable
+//!   per-worker state (`init` once per worker, `f(&mut state, i)` per
+//!   item), for campaigns whose per-item work wants an expensive
+//!   scratch buffer rather than fresh allocations.
 //! * [`tree_sum`] — a fixed-shape pairwise reduction for `f64`
 //!   accumulations. Its bracketing depends only on the input length,
 //!   never on the worker count, so parallel sums stay bit-exact.
@@ -146,10 +150,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
 }
 
 /// Order-preserving parallel map with the item index passed to `f`.
-pub fn par_map_indexed<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(usize, &T) -> R + Sync,
-) -> Vec<R> {
+pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
     par_map_range(items.len(), |i| f(i, &items[i]))
 }
 
@@ -164,6 +165,34 @@ pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R>
         return (0..n).map(f).collect();
     }
     run_pool(n, threads, &f)
+}
+
+/// [`par_map_range`] with reusable per-worker state.
+///
+/// Each pool worker calls `init()` once and threads the resulting
+/// value through every item it processes as `f(&mut state, i)`; the
+/// serial path (one thread, or a nested region) creates a single state
+/// and reuses it for all items. This is the campaign primitive for
+/// expensive scratch buffers — e.g. one `secflow_sim::EngineScratch`
+/// per worker, reset per window instead of reallocated.
+///
+/// **Caller contract:** `f(state, i)` must return the same value for
+/// item `i` no matter which items the state previously processed (the
+/// state is a scratch or cache, not an accumulator). Work distribution
+/// is scheduling-dependent, so a history-sensitive `f` would break the
+/// crate's determinism guarantee. `state` needs no `Send`/`Sync`: it
+/// is created and consumed entirely on one worker thread.
+pub fn par_map_range_with<S, R: Send>(
+    n: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize) -> R + Sync,
+) -> Vec<R> {
+    let threads = ExecConfig::resolve().threads.min(n.max(1));
+    if threads <= 1 || in_parallel_region() {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    run_pool_with(n, threads, &init, &f)
 }
 
 /// Deterministic `f64` sum over `0..n` of a parallel map: the values
@@ -195,6 +224,19 @@ pub fn tree_sum(xs: &[f64]) -> f64 {
 /// The scoped worker pool behind [`par_map_range`]; `threads >= 2`
 /// and `n >= 2` here.
 fn run_pool<R: Send>(n: usize, threads: usize, f: &(impl Fn(usize) -> R + Sync)) -> Vec<R> {
+    run_pool_with(n, threads, &|| (), &|(), i| f(i))
+}
+
+/// The scoped worker pool behind [`par_map_range_with`]: each worker
+/// runs `init()` once, then claims chunks and folds its state through
+/// `f`. An `init` panic is recorded past every real index, so item
+/// panics still win the lowest-index race deterministically.
+fn run_pool_with<S, R: Send>(
+    n: usize,
+    threads: usize,
+    init: &(impl Fn() -> S + Sync),
+    f: &(impl Fn(&mut S, usize) -> R + Sync),
+) -> Vec<R> {
     // Chunked index claiming: large enough to amortize the atomic,
     // small enough to keep the tail balanced.
     let chunk = (n / (threads * 8)).clamp(1, 1024);
@@ -211,6 +253,17 @@ fn run_pool<R: Send>(n: usize, threads: usize, f: &(impl Fn(usize) -> R + Sync))
                 s.spawn(|| {
                     IN_PAR.with(|c| c.set(true));
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut state = match catch_unwind(AssertUnwindSafe(init)) {
+                        Ok(s) => s,
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            panics
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push((n, payload));
+                            return local;
+                        }
+                    };
                     while !abort.load(Ordering::Relaxed) {
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
@@ -218,7 +271,7 @@ fn run_pool<R: Send>(n: usize, threads: usize, f: &(impl Fn(usize) -> R + Sync))
                         }
                         let end = (start + chunk).min(n);
                         for i in start..end {
-                            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
                                 Ok(r) => local.push((i, r)),
                                 Err(payload) => {
                                     abort.store(true, Ordering::Relaxed);
@@ -287,6 +340,66 @@ mod tests {
     }
 
     #[test]
+    fn stateful_map_matches_serial_at_every_thread_count() {
+        // The state is a scratch buffer: refilled per item, so results
+        // are independent of which worker processed what.
+        let expect: Vec<u64> = (0..500).map(|i| (0..=i as u64).sum()).collect();
+        for t in [1, 2, 3, 8] {
+            let got = with_threads(t, || {
+                par_map_range_with(500, Vec::<u64>::new, |buf, i| {
+                    buf.clear();
+                    buf.extend(0..=i as u64);
+                    buf.iter().sum::<u64>()
+                })
+            });
+            assert_eq!(got, expect, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn stateful_map_creates_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let serial = with_threads(1, || {
+            par_map_range_with(64, || inits.fetch_add(1, Ordering::Relaxed), |_, i| i)
+        });
+        assert_eq!(serial, (0..64).collect::<Vec<_>>());
+        assert_eq!(
+            inits.load(Ordering::Relaxed),
+            1,
+            "serial path shares one state"
+        );
+
+        inits.store(0, Ordering::Relaxed);
+        let pooled = with_threads(4, || {
+            par_map_range_with(64, || inits.fetch_add(1, Ordering::Relaxed), |_, i| i)
+        });
+        assert_eq!(pooled, (0..64).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed), 4, "one init per pool worker");
+    }
+
+    #[test]
+    fn stateful_map_propagates_item_panics() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                par_map_range_with(
+                    256,
+                    || (),
+                    |(), i| {
+                        std::panic::panic_any(i);
+                        #[allow(unreachable_code)]
+                        0usize
+                    },
+                )
+            })
+        }))
+        .expect_err("panic must propagate");
+        assert_eq!(
+            *caught.downcast::<usize>().expect("payload is the index"),
+            0
+        );
+    }
+
+    #[test]
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = with_threads(8, || par_map_range(0, |_| unreachable!()));
         assert!(out.is_empty());
@@ -315,7 +428,10 @@ mod tests {
         .expect_err("panic must propagate");
         // Index 0 is in the first claimed chunk, so with every task
         // panicking the lowest captured index is always 0.
-        assert_eq!(*caught.downcast::<usize>().expect("payload is the index"), 0);
+        assert_eq!(
+            *caught.downcast::<usize>().expect("payload is the index"),
+            0
+        );
     }
 
     #[test]
@@ -343,7 +459,11 @@ mod tests {
             par_map_range(8, |i| {
                 // Inside a worker the nested call must run inline, not
                 // spawn a second pool.
-                let nested_inline = if i == 0 { !in_parallel_region() } else { in_parallel_region() };
+                let nested_inline = if i == 0 {
+                    !in_parallel_region()
+                } else {
+                    in_parallel_region()
+                };
                 let inner = par_map_range(8, |j| i * 8 + j);
                 (nested_inline, inner)
             })

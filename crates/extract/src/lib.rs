@@ -333,8 +333,14 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: n0, segments: vec![hseg(0, 0, 10)] },
-                RoutedNet { net: n1, segments: vec![hseg(20, 0, 30)] },
+                RoutedNet {
+                    net: n0,
+                    segments: vec![hseg(0, 0, 10)],
+                },
+                RoutedNet {
+                    net: n1,
+                    segments: vec![hseg(20, 0, 30)],
+                },
             ],
             GridPitch::Normal,
         );
@@ -353,7 +359,10 @@ mod tests {
         let mk = |pitch| {
             design_with(
                 &nl,
-                vec![RoutedNet { net: n0, segments: vec![hseg(0, 0, 10)] }],
+                vec![RoutedNet {
+                    net: n0,
+                    segments: vec![hseg(0, 0, 10)],
+                }],
                 pitch,
             )
         };
@@ -371,8 +380,14 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: n0, segments: vec![hseg(5, 0, 20)] },
-                RoutedNet { net: n1, segments: vec![hseg(6, 10, 30)] },
+                RoutedNet {
+                    net: n0,
+                    segments: vec![hseg(5, 0, 20)],
+                },
+                RoutedNet {
+                    net: n1,
+                    segments: vec![hseg(6, 10, 30)],
+                },
             ],
             GridPitch::Normal,
         );
@@ -418,8 +433,14 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: n0, segments: vec![vseg(5, 0, 8)] },
-                RoutedNet { net: n1, segments: vec![vseg(6, 0, 8)] },
+                RoutedNet {
+                    net: n0,
+                    segments: vec![vseg(5, 0, 8)],
+                },
+                RoutedNet {
+                    net: n1,
+                    segments: vec![vseg(6, 0, 8)],
+                },
             ],
             GridPitch::Normal,
         );
@@ -436,8 +457,14 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: n0, segments: vec![hseg(6, 0, 20)] },
-                RoutedNet { net: n1, segments: vec![vseg] },
+                RoutedNet {
+                    net: n0,
+                    segments: vec![hseg(6, 0, 20)],
+                },
+                RoutedNet {
+                    net: n1,
+                    segments: vec![vseg],
+                },
             ],
             GridPitch::Normal,
         );
@@ -455,14 +482,24 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: t, segments: vec![hseg(10, 0, 40)] },
-                RoutedNet { net: f, segments: vec![hseg(11, 1, 41)] },
+                RoutedNet {
+                    net: t,
+                    segments: vec![hseg(10, 0, 40)],
+                },
+                RoutedNet {
+                    net: f,
+                    segments: vec![hseg(11, 1, 41)],
+                },
             ],
             GridPitch::Normal,
         );
         let p = extract(&d, &nl, &Technology::default());
         let reports = pair_mismatch(&p, &[(t, f)]);
-        assert!(reports[0].relative < 1e-9, "mismatch {}", reports[0].relative);
+        assert!(
+            reports[0].relative < 1e-9,
+            "mismatch {}",
+            reports[0].relative
+        );
     }
 
     #[test]
@@ -473,8 +510,14 @@ mod tests {
         let d = design_with(
             &nl,
             vec![
-                RoutedNet { net: t, segments: vec![hseg(10, 0, 40)] },
-                RoutedNet { net: f, segments: vec![hseg(50, 0, 25)] },
+                RoutedNet {
+                    net: t,
+                    segments: vec![hseg(10, 0, 40)],
+                },
+                RoutedNet {
+                    net: f,
+                    segments: vec![hseg(50, 0, 25)],
+                },
             ],
             GridPitch::Normal,
         );
@@ -513,7 +556,13 @@ pub fn write_spice(nl: &Netlist, parasitics: &Parasitics, title: &str) -> String
             .chain(g.outputs.iter())
             .map(|&n| sanitize_node(&nl.net(n).name))
             .collect();
-        let _ = writeln!(s, "X{i}_{} {} {}", sanitize_node(&g.name), pins.join(" "), g.cell);
+        let _ = writeln!(
+            s,
+            "X{i}_{} {} {}",
+            sanitize_node(&g.name),
+            pins.join(" "),
+            g.cell
+        );
     }
     let mut r_count = 0usize;
     let mut c_count = 0usize;

@@ -40,8 +40,16 @@ impl Bdd {
     pub fn new() -> Self {
         Bdd {
             nodes: vec![
-                Node { var: u32::MAX, lo: BddRef::FALSE, hi: BddRef::FALSE },
-                Node { var: u32::MAX, lo: BddRef::TRUE, hi: BddRef::TRUE },
+                Node {
+                    var: u32::MAX,
+                    lo: BddRef::FALSE,
+                    hi: BddRef::FALSE,
+                },
+                Node {
+                    var: u32::MAX,
+                    lo: BddRef::TRUE,
+                    hi: BddRef::TRUE,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -102,10 +110,7 @@ impl Bdd {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let v = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -142,7 +147,11 @@ impl Bdd {
     pub fn eval(&self, mut r: BddRef, assignment: &[bool]) -> bool {
         while !r.is_terminal() {
             let n = self.nodes[r.0 as usize];
-            r = if assignment[n.var as usize] { n.hi } else { n.lo };
+            r = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         r == BddRef::TRUE
     }

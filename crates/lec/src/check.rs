@@ -5,7 +5,7 @@ use std::fmt;
 
 use secflow_rand::{RngExt, SeedableRng, StdRng};
 
-use secflow_cells::{CellFunction, Library};
+use secflow_cells::{CellFunction, Library, TruthTable};
 use secflow_netlist::{GateKind, NetId, Netlist};
 
 use crate::bdd::{Bdd, BddRef};
@@ -150,18 +150,27 @@ fn netlist_bdds(
     let order = secflow_netlist::topo_order(nl).ok_or_else(|| LecError::BadNetlist {
         reason: format!("netlist `{}` has a combinational cycle", nl.name),
     })?;
+    // Mapped netlists instantiate a handful of distinct cells tens of
+    // thousands of times; resolve each name once, not per gate.
+    let mut cell_memo: HashMap<&str, &secflow_cells::LibCell> = HashMap::new();
     for gid in order {
         let g = nl.gate(gid);
         if g.kind == GateKind::Seq {
             continue;
         }
-        let cell = lib.by_name(&g.cell).ok_or_else(|| LecError::BadNetlist {
-            reason: format!("unknown cell `{}`", g.cell),
-        })?;
+        let cell = match cell_memo.get(g.cell.as_str()) {
+            Some(&c) => c,
+            None => {
+                let c = lib.by_name(&g.cell).ok_or_else(|| LecError::BadNetlist {
+                    reason: format!("unknown cell `{}`", g.cell),
+                })?;
+                cell_memo.insert(g.cell.as_str(), c);
+                c
+            }
+        };
         match cell.function() {
             CellFunction::Comb(tt) => {
-                let inputs: Vec<BddRef> =
-                    g.inputs.iter().map(|&n| refs[n.index()]).collect();
+                let inputs: Vec<BddRef> = g.inputs.iter().map(|&n| refs[n.index()]).collect();
                 refs[g.outputs[0].index()] = tt_to_bdd(bdd, tt.vars(), tt.bits(), &inputs);
             }
             CellFunction::Tie(v) => {
@@ -178,7 +187,11 @@ fn netlist_bdds(
 /// the highest variable first.
 fn tt_to_bdd(bdd: &mut Bdd, n: u8, bits: u64, inputs: &[BddRef]) -> BddRef {
     if n == 0 {
-        return if bits & 1 == 1 { BddRef::TRUE } else { BddRef::FALSE };
+        return if bits & 1 == 1 {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        };
     }
     // n ≤ 6 so half ≤ 32 and the shifts below are in range.
     let half = 1u32 << (n - 1);
@@ -273,7 +286,117 @@ pub fn check_equiv_with_parity(
     })
 }
 
-/// Bit-parallel evaluation of a netlist's combinational portion.
+/// One resolved step of the bit-parallel combinational walk.
+enum CombOp {
+    /// Truth-table gate: inputs in pin order, single output.
+    Table {
+        tt: TruthTable,
+        inputs: Vec<NetId>,
+        out: NetId,
+    },
+    /// Constant driver.
+    Tie { value: bool, out: NetId },
+}
+
+/// A build-once compilation of a netlist's combinational portion for
+/// random simulation: every cell resolved and every gate placed in
+/// topological order exactly once, instead of per evaluation round.
+/// Shared read-only across the parallel rounds of
+/// [`check_equiv_random_with_parity`].
+struct CompiledComb {
+    n_nets: usize,
+    ops: Vec<CombOp>,
+}
+
+impl CompiledComb {
+    fn build(nl: &Netlist, lib: &Library) -> Result<CompiledComb, LecError> {
+        let order = secflow_netlist::topo_order(nl).ok_or_else(|| LecError::BadNetlist {
+            reason: format!("netlist `{}` has a combinational cycle", nl.name),
+        })?;
+        let mut cell_memo: HashMap<&str, &secflow_cells::LibCell> = HashMap::new();
+        let mut ops = Vec::new();
+        for gid in order {
+            let g = nl.gate(gid);
+            if g.kind == GateKind::Seq {
+                continue;
+            }
+            let cell = match cell_memo.get(g.cell.as_str()) {
+                Some(&c) => c,
+                None => {
+                    let c = lib.by_name(&g.cell).ok_or_else(|| LecError::BadNetlist {
+                        reason: format!("unknown cell `{}`", g.cell),
+                    })?;
+                    cell_memo.insert(g.cell.as_str(), c);
+                    c
+                }
+            };
+            match cell.function() {
+                CellFunction::Comb(tt) => ops.push(CombOp::Table {
+                    tt: *tt,
+                    inputs: g.inputs.clone(),
+                    out: g.outputs[0],
+                }),
+                CellFunction::Tie(v) => ops.push(CombOp::Tie {
+                    value: *v,
+                    out: g.outputs[0],
+                }),
+                CellFunction::Dff | CellFunction::WddlDff => {}
+            }
+        }
+        Ok(CompiledComb {
+            n_nets: nl.net_count(),
+            ops,
+        })
+    }
+
+    /// Bit-parallel evaluation of 64 patterns into `values` (reused
+    /// across rounds; resized and zeroed here). `ins` is a per-gate
+    /// input-word buffer, equally reused.
+    fn eval64_into(
+        &self,
+        values: &mut Vec<u64>,
+        ins: &mut Vec<u64>,
+        var_nets: &[NetId],
+        var_values: &[u64],
+        var_neg: &[bool],
+    ) {
+        values.clear();
+        values.resize(self.n_nets, 0u64);
+        for ((&net, &v), &neg) in var_nets.iter().zip(var_values).zip(var_neg) {
+            values[net.index()] = if neg { !v } else { v };
+        }
+        for op in &self.ops {
+            match op {
+                CombOp::Table { tt, inputs, out } => {
+                    let mut word = 0u64;
+                    // Evaluate 64 patterns via table lookups per bit
+                    // position of the packed input words.
+                    ins.clear();
+                    ins.extend(inputs.iter().map(|&n| values[n.index()]));
+                    for bit in 0..64 {
+                        let mut idx = 0u32;
+                        for (i, w) in ins.iter().enumerate() {
+                            if w >> bit & 1 == 1 {
+                                idx |= 1 << i;
+                            }
+                        }
+                        if tt.eval(idx) {
+                            word |= 1 << bit;
+                        }
+                    }
+                    values[out.index()] = word;
+                }
+                CombOp::Tie { value, out } => {
+                    values[out.index()] = if *value { !0 } else { 0 };
+                }
+            }
+        }
+    }
+}
+
+/// Bit-parallel evaluation of a netlist's combinational portion
+/// (one-shot convenience over [`CompiledComb`], kept for tests).
+#[cfg(test)]
 fn eval64(
     nl: &Netlist,
     lib: &Library,
@@ -281,42 +404,10 @@ fn eval64(
     var_values: &[u64],
     var_neg: &[bool],
 ) -> Vec<u64> {
-    let mut values = vec![0u64; nl.net_count()];
-    for ((&net, &v), &neg) in var_nets.iter().zip(var_values).zip(var_neg) {
-        values[net.index()] = if neg { !v } else { v };
-    }
-    let order = secflow_netlist::topo_order(nl).expect("acyclic");
-    for gid in order {
-        let g = nl.gate(gid);
-        if g.kind == GateKind::Seq {
-            continue;
-        }
-        let cell = lib.by_name(&g.cell).expect("known cell");
-        match cell.function() {
-            CellFunction::Comb(tt) => {
-                let mut out = 0u64;
-                // Evaluate 64 patterns via table lookups per bit
-                // position of the packed input words.
-                let ins: Vec<u64> = g.inputs.iter().map(|&n| values[n.index()]).collect();
-                for bit in 0..64 {
-                    let mut idx = 0u32;
-                    for (i, w) in ins.iter().enumerate() {
-                        if w >> bit & 1 == 1 {
-                            idx |= 1 << i;
-                        }
-                    }
-                    if tt.eval(idx) {
-                        out |= 1 << bit;
-                    }
-                }
-                values[g.outputs[0].index()] = out;
-            }
-            CellFunction::Tie(v) => {
-                values[g.outputs[0].index()] = if *v { !0 } else { 0 };
-            }
-            CellFunction::Dff | CellFunction::WddlDff => {}
-        }
-    }
+    let comp = CompiledComb::build(nl, lib).expect("acyclic netlist with known cells");
+    let mut values = Vec::new();
+    let mut ins = Vec::new();
+    comp.eval64_into(&mut values, &mut ins, var_nets, var_values, var_neg);
     values
 }
 
@@ -363,45 +454,54 @@ pub fn check_equiv_random_with_parity(
 ) -> Result<EquivReport, LecError> {
     let src = build_sources(nl_a, nl_b)?;
     let neg = vec![false; src.n_vars];
-    let failures = secflow_exec::par_map_range(rounds, |round| -> Option<EquivReport> {
-        let mut rng = StdRng::seed_from_u64(secflow_rand::split_seed(seed, round as u64));
-        let vars: Vec<u64> = (0..src.n_vars).map(|_| rng.random()).collect();
-        let va = eval64(nl_a, lib_a, &src.var_nets_a, &vars, &neg);
-        let vb = eval64(nl_b, lib_b, &src.var_nets_b, &vars, &neg);
-        for (i, (&oa, &ob)) in nl_a.outputs().iter().zip(nl_b.outputs()).enumerate() {
-            let mut wb = vb[ob.index()];
-            if out_parity_b.is_some_and(|p| p[i]) {
-                wb = !wb;
+    // Both netlists are compiled once (cells resolved, topological
+    // order fixed) and shared read-only across rounds; each pool
+    // worker reuses its evaluation buffers between rounds.
+    let comp_a = CompiledComb::build(nl_a, lib_a)?;
+    let comp_b = CompiledComb::build(nl_b, lib_b)?;
+    let failures = secflow_exec::par_map_range_with(
+        rounds,
+        || (Vec::new(), Vec::new(), Vec::new()),
+        |(va, vb, ins), round| -> Option<EquivReport> {
+            let mut rng = StdRng::seed_from_u64(secflow_rand::split_seed(seed, round as u64));
+            let vars: Vec<u64> = (0..src.n_vars).map(|_| rng.random()).collect();
+            comp_a.eval64_into(va, ins, &src.var_nets_a, &vars, &neg);
+            comp_b.eval64_into(vb, ins, &src.var_nets_b, &vars, &neg);
+            for (i, (&oa, &ob)) in nl_a.outputs().iter().zip(nl_b.outputs()).enumerate() {
+                let mut wb = vb[ob.index()];
+                if out_parity_b.is_some_and(|p| p[i]) {
+                    wb = !wb;
+                }
+                let diff = va[oa.index()] ^ wb;
+                if diff != 0 {
+                    let bit = diff.trailing_zeros();
+                    let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
+                    return Some(EquivReport {
+                        equivalent: false,
+                        failing_output: Some((i, cex)),
+                        failing_register: None,
+                    });
+                }
             }
-            let diff = va[oa.index()] ^ wb;
-            if diff != 0 {
-                let bit = diff.trailing_zeros();
-                let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
-                return Some(EquivReport {
-                    equivalent: false,
-                    failing_output: Some((i, cex)),
-                    failing_register: None,
-                });
+            for (i, (&da, &db)) in src.reg_d_a.iter().zip(&src.reg_d_b).enumerate() {
+                let mut wb = vb[db.index()];
+                if reg_parity_b.is_some_and(|p| p[i]) {
+                    wb = !wb;
+                }
+                let diff = va[da.index()] ^ wb;
+                if diff != 0 {
+                    let bit = diff.trailing_zeros();
+                    let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
+                    return Some(EquivReport {
+                        equivalent: false,
+                        failing_output: None,
+                        failing_register: Some((i, cex)),
+                    });
+                }
             }
-        }
-        for (i, (&da, &db)) in src.reg_d_a.iter().zip(&src.reg_d_b).enumerate() {
-            let mut wb = vb[db.index()];
-            if reg_parity_b.is_some_and(|p| p[i]) {
-                wb = !wb;
-            }
-            let diff = va[da.index()] ^ wb;
-            if diff != 0 {
-                let bit = diff.trailing_zeros();
-                let cex = vars.iter().map(|w| w >> bit & 1 == 1).collect();
-                return Some(EquivReport {
-                    equivalent: false,
-                    failing_output: None,
-                    failing_register: Some((i, cex)),
-                });
-            }
-        }
-        None
-    });
+            None
+        },
+    );
     // Results arrive in round order; the first failure is the lowest
     // round's, independent of execution interleaving.
     if let Some(report) = failures.into_iter().flatten().next() {
@@ -467,14 +567,18 @@ mod tests {
             &a,
             &lib,
             &[a.net_by_name("x").unwrap(), a.net_by_name("y").unwrap()],
-            &cex.iter().map(|&v| if v { !0u64 } else { 0 }).collect::<Vec<_>>(),
+            &cex.iter()
+                .map(|&v| if v { !0u64 } else { 0 })
+                .collect::<Vec<_>>(),
             &[false, false],
         );
         let vb = eval64(
             &b,
             &lib,
             &[b.net_by_name("x").unwrap(), b.net_by_name("y").unwrap()],
-            &cex.iter().map(|&v| if v { !0u64 } else { 0 }).collect::<Vec<_>>(),
+            &cex.iter()
+                .map(|&v| if v { !0u64 } else { 0 })
+                .collect::<Vec<_>>(),
             &[false, false],
         );
         assert_ne!(
@@ -550,8 +654,20 @@ mod tests {
         let t2 = b.add_net("t2");
         let t3 = b.add_net("t3");
         let o = b.add_net("out");
-        b.add_gate("g1", "AND3", GateKind::Comb, vec![bins[0], bins[1], bins[2]], vec![t1]);
-        b.add_gate("g2", "AND2", GateKind::Comb, vec![bins[3], bins[4]], vec![t2]);
+        b.add_gate(
+            "g1",
+            "AND3",
+            GateKind::Comb,
+            vec![bins[0], bins[1], bins[2]],
+            vec![t1],
+        );
+        b.add_gate(
+            "g2",
+            "AND2",
+            GateKind::Comb,
+            vec![bins[3], bins[4]],
+            vec![t2],
+        );
         b.add_gate("g3", "OR2", GateKind::Comb, vec![t1, t2], vec![t3]);
         b.add_gate("g4", "INV", GateKind::Comb, vec![t3], vec![o]);
         b.mark_output(o);

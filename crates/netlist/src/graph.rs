@@ -5,7 +5,7 @@
 //! (like primary outputs), so the combinational portion forms a DAG in
 //! any legal synchronous design.
 
-use crate::netlist::{GateId, GateKind, Netlist};
+use crate::netlist::{GateId, GateKind, NetId, Netlist};
 
 /// Returns the gates in a topological order of the combinational
 /// graph: every combinational gate appears after all combinational
@@ -144,9 +144,52 @@ pub fn combinational_levels(nl: &Netlist) -> Option<Vec<u32>> {
 
 /// Returns, for each net, the number of gate input pins it drives.
 pub fn fanout_map(nl: &Netlist) -> Vec<usize> {
-    nl.net_ids()
-        .map(|n| nl.net(n).sinks.len())
-        .collect()
+    nl.net_ids().map(|n| nl.net(n).sinks.len()).collect()
+}
+
+/// Compressed-sparse-row fanout adjacency: for every net, the gates
+/// reading it, flattened into one contiguous array.
+///
+/// The per-net slice preserves the order of [`crate::Net::sinks`], so a
+/// walk over [`FanoutCsr::fanout`] visits gates in exactly the order a
+/// walk over the sink list would — a drop-in, allocation-free
+/// replacement for collecting `net.sinks` per event in simulation hot
+/// loops. A gate reading the same net on several pins appears once per
+/// reading pin, exactly like the sink list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutCsr {
+    /// `offsets[n]..offsets[n + 1]` indexes `gates` for net `n`;
+    /// `net_count + 1` entries.
+    offsets: Vec<u32>,
+    /// Sink gates of all nets, concatenated in net-id order.
+    gates: Vec<GateId>,
+}
+
+impl FanoutCsr {
+    /// Builds the fanout adjacency of `nl`.
+    pub fn build(nl: &Netlist) -> Self {
+        let mut offsets = Vec::with_capacity(nl.net_count() + 1);
+        let mut gates = Vec::new();
+        offsets.push(0);
+        for id in nl.net_ids() {
+            gates.extend(nl.net(id).sinks.iter().map(|s| s.gate));
+            offsets.push(gates.len() as u32);
+        }
+        FanoutCsr { offsets, gates }
+    }
+
+    /// The gates reading `net`, in sink order.
+    #[inline]
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        let lo = self.offsets[net.index()] as usize;
+        let hi = self.offsets[net.index() + 1] as usize;
+        &self.gates[lo..hi]
+    }
+
+    /// Number of nets covered.
+    pub fn net_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +253,27 @@ mod tests {
         nl.add_gate("ff", "DFF", GateKind::Seq, vec![x], vec![q]);
         assert!(topo_order(&nl).is_some());
         assert!(find_combinational_cycle(&nl).is_none());
+    }
+
+    #[test]
+    fn fanout_csr_matches_sink_lists() {
+        let mut nl = Netlist::new("csr");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "AND2", GateKind::Comb, vec![a, b], vec![x]);
+        nl.add_gate("g1", "OR2", GateKind::Comb, vec![a, x], vec![y]);
+        // A gate reading the same net twice appears once per pin.
+        let z = nl.add_net("z");
+        nl.add_gate("g2", "AND2", GateKind::Comb, vec![b, b], vec![z]);
+        let csr = FanoutCsr::build(&nl);
+        assert_eq!(csr.net_count(), nl.net_count());
+        for id in nl.net_ids() {
+            let expect: Vec<GateId> = nl.net(id).sinks.iter().map(|s| s.gate).collect();
+            assert_eq!(csr.fanout(id), expect.as_slice(), "net {id}");
+        }
+        assert_eq!(csr.fanout(b).len(), 3);
     }
 
     #[test]

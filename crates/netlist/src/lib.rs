@@ -39,7 +39,9 @@ mod validate;
 mod verilog;
 
 pub use error::NetlistError;
-pub use graph::{combinational_levels, fanout_map, find_combinational_cycle, topo_order};
+pub use graph::{
+    combinational_levels, fanout_map, find_combinational_cycle, topo_order, FanoutCsr,
+};
 pub use netlist::{Gate, GateId, GateKind, Net, NetId, Netlist, PinRef};
 pub use stats::NetlistStats;
 pub use verilog::{parse_verilog, structurally_equal, write_verilog};

@@ -325,10 +325,8 @@ impl Netlist {
         for g in &self.gates {
             *map.entry(g.cell.as_str()).or_insert(0) += 1;
         }
-        let mut v: Vec<(String, usize)> = map
-            .into_iter()
-            .map(|(k, n)| (k.to_string(), n))
-            .collect();
+        let mut v: Vec<(String, usize)> =
+            map.into_iter().map(|(k, n)| (k.to_string(), n)).collect();
         v.sort();
         v
     }

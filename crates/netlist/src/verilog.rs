@@ -19,7 +19,6 @@
 //! sequential cell is `D`, combinational outputs are `Y` (then `Y1,
 //! Y2, ...`) and sequential outputs are `Q` (then `Q1, ...`).
 
-
 use crate::error::NetlistError;
 use crate::netlist::{GateKind, Netlist};
 
@@ -90,7 +89,12 @@ pub fn write_verilog(nl: &Netlist) -> String {
                 nl.net(n).name
             ));
         }
-        s.push_str(&format!("  {} {} ({});\n", g.cell, g.name, conns.join(", ")));
+        s.push_str(&format!(
+            "  {} {} ({});\n",
+            g.cell,
+            g.name,
+            conns.join(", ")
+        ));
     }
     s.push_str("endmodule\n");
     s
@@ -285,8 +289,14 @@ pub fn structurally_equal(a: &Netlist, b: &Netlist) -> bool {
     };
     let ports = |nl: &Netlist| -> (Vec<String>, Vec<String>) {
         (
-            nl.inputs().iter().map(|&n| nl.net(n).name.clone()).collect(),
-            nl.outputs().iter().map(|&n| nl.net(n).name.clone()).collect(),
+            nl.inputs()
+                .iter()
+                .map(|&n| nl.net(n).name.clone())
+                .collect(),
+            nl.outputs()
+                .iter()
+                .map(|&n| nl.net(n).name.clone())
+                .collect(),
         )
     };
     a.name == b.name && ports(a) == ports(b) && sig(a) == sig(b)
@@ -336,15 +346,15 @@ mod tests {
 
     #[test]
     fn multiline_instance_parses() {
-        let text = "module m (a, y);\n input a;\n output y;\n BUF u1 (.A(a),\n   .Y(y));\nendmodule\n";
+        let text =
+            "module m (a, y);\n input a;\n output y;\n BUF u1 (.A(a),\n   .Y(y));\nendmodule\n";
         let nl = parse_verilog(text, &[]).unwrap();
         assert_eq!(nl.gate_count(), 1);
         assert_eq!(nl.gate(crate::netlist::GateId(0)).cell, "BUF");
     }
 
     #[test]
-    fn comments_are_stripped()
-    {
+    fn comments_are_stripped() {
         let text = "// header\nmodule m (a, y); // ports\n input a;\n output y;\n BUF u1 (.A(a), .Y(y));\nendmodule\n";
         let nl = parse_verilog(text, &[]).unwrap();
         assert_eq!(nl.name, "m");

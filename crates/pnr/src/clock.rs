@@ -161,8 +161,16 @@ fn build_rec(
     }
     // Split along the dimension with the larger spread, at the median.
     let spread = |f: fn(&ClockSink) -> i32| {
-        let lo = members.iter().map(|&i| f(&sinks[i])).min().expect("non-empty");
-        let hi = members.iter().map(|&i| f(&sinks[i])).max().expect("non-empty");
+        let lo = members
+            .iter()
+            .map(|&i| f(&sinks[i]))
+            .min()
+            .expect("non-empty");
+        let hi = members
+            .iter()
+            .map(|&i| f(&sinks[i]))
+            .max()
+            .expect("non-empty");
         hi - lo
     };
     if spread(|s| s.x) >= spread(|s| s.y) {
@@ -311,7 +319,13 @@ mod tests {
         let mut nl = Netlist::new("comb");
         let a = nl.add_input("a");
         let y = nl.add_net("y");
-        nl.add_gate("g", "BUF", secflow_netlist::GateKind::Comb, vec![a], vec![y]);
+        nl.add_gate(
+            "g",
+            "BUF",
+            secflow_netlist::GateKind::Comb,
+            vec![a],
+            vec![y],
+        );
         let placed = PlacedDesign {
             name: "comb".into(),
             width: 20,

@@ -354,10 +354,8 @@ pub fn parse_def(text: &str, nl: &Netlist) -> Result<RoutedDesign, NetlistError>
                 let y: i32 = tok[2].parse().map_err(|e| err(ln, format!("{e}")))?;
                 let la: u8 = tok.get(3).and_then(|t| t.parse().ok()).unwrap_or(LAYER_H);
                 let lb: u8 = tok.get(4).and_then(|t| t.parse().ok()).unwrap_or(LAYER_V);
-                rn.segments.push(Segment::new(
-                    Point::new(la, x, y),
-                    Point::new(lb, x, y),
-                ));
+                rn.segments
+                    .push(Segment::new(Point::new(la, x, y), Point::new(lb, x, y)));
             }
             _ => return Err(err(ln, format!("unexpected token `{}`", tok[0]))),
         }
@@ -450,9 +448,7 @@ mod tests {
     fn pin_point_uses_macro_offsets() {
         let (nl, d) = tiny();
         let lib = Library::lib180();
-        let (x, y) = d
-            .placed
-            .pin_point(&nl, &lib, GateId(0), 0, true);
+        let (x, y) = d.placed.pin_point(&nl, &lib, GateId(0), 0, true);
         let mac = lib.by_name("AND2").unwrap().physical();
         assert_eq!(x, 3 + mac.output_pin_tracks[0] as i32);
         assert_eq!(y, 12);

@@ -148,7 +148,12 @@ impl RoutingGrid {
     /// Linear index of a point.
     #[inline]
     pub fn index(&self, p: Point) -> usize {
-        debug_assert!(self.contains(p), "{p} outside {}x{}", self.width, self.height);
+        debug_assert!(
+            self.contains(p),
+            "{p} outside {}x{}",
+            self.width,
+            self.height
+        );
         ((p.layer as i32 * self.height + p.y) * self.width + p.x) as usize
     }
 

@@ -94,8 +94,7 @@ pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
     while fp.rows * (ROW_TRACKS - 1) < n_pads {
         fp.rows += 1;
     }
-    let order = secflow_netlist::topo_order(nl)
-        .unwrap_or_else(|| nl.gate_ids().collect());
+    let order = secflow_netlist::topo_order(nl).unwrap_or_else(|| nl.gate_ids().collect());
 
     // Initial serpentine fill.
     let mut rows: Vec<Vec<GateId>> = vec![Vec::new(); fp.rows as usize];
@@ -112,7 +111,9 @@ pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
         // If every row is nominally full, spill into the least-used
         // row (the floorplan has slack, so this stays rare).
         if widths[r] + w > cap {
-            r = (0..rows.len()).min_by_key(|&i| widths[i]).expect("rows exist");
+            r = (0..rows.len())
+                .min_by_key(|&i| widths[i])
+                .expect("rows exist");
         }
         rows[r].push(g);
         widths[r] += w;
@@ -192,20 +193,19 @@ fn anneal(
 
         // Either swap with another cell or relocate into another row.
         let r2 = rng.random_range(0..n_rows);
-        let swap_target: Option<(usize, GateId)> = if !state.rows[r2].is_empty() && rng.random_bool(0.5)
-        {
-            let i2 = rng.random_range(0..state.rows[r2].len());
-            Some((i2, state.rows[r2][i2]))
-        } else {
-            None
-        };
+        let swap_target: Option<(usize, GateId)> =
+            if !state.rows[r2].is_empty() && rng.random_bool(0.5) {
+                let i2 = rng.random_range(0..state.rows[r2].len());
+                Some((i2, state.rows[r2][i2]))
+            } else {
+                None
+            };
 
         // Feasibility on row capacity.
         match swap_target {
             Some((_, g2)) if r1 != r2 => {
                 let w2 = cell_width(nl, lib, g2);
-                if state.widths[r1] - w1 + w2 > state.cap
-                    || state.widths[r2] - w2 + w1 > state.cap
+                if state.widths[r1] - w1 + w2 > state.cap || state.widths[r2] - w2 + w1 > state.cap
                 {
                     temp *= cooling;
                     continue;
@@ -261,8 +261,18 @@ fn anneal(
 
 /// A reversible move description.
 enum Undo {
-    Swap { r1: usize, i1: usize, r2: usize, i2: usize },
-    Relocate { from: usize, to: usize, to_idx: usize, orig_idx: usize },
+    Swap {
+        r1: usize,
+        i1: usize,
+        r2: usize,
+        i2: usize,
+    },
+    Relocate {
+        from: usize,
+        to: usize,
+        to_idx: usize,
+        orig_idx: usize,
+    },
 }
 
 fn apply_move(
@@ -365,7 +375,13 @@ mod tests {
         let mut prev = nl.add_input("a");
         for i in 0..n {
             let next = nl.add_net(format!("w{i}"));
-            nl.add_gate(format!("g{i}"), "BUF", GateKind::Comb, vec![prev], vec![next]);
+            nl.add_gate(
+                format!("g{i}"),
+                "BUF",
+                GateKind::Comb,
+                vec![prev],
+                vec![next],
+            );
             prev = next;
         }
         nl.mark_output(prev);
@@ -439,7 +455,10 @@ mod tests {
         // thread counts.
         let best2 = secflow_exec::with_threads(3, || place_best_of(&nl, &lib, &opts, 4));
         assert_eq!(best.cells, best2.cells);
-        assert!(best.total_hpwl(&nl, &lib) <= single.total_hpwl(&nl, &lib).max(best.total_hpwl(&nl, &lib)));
+        assert!(
+            best.total_hpwl(&nl, &lib)
+                <= single.total_hpwl(&nl, &lib).max(best.total_hpwl(&nl, &lib))
+        );
         // restarts <= 1 is exactly place().
         let one = place_best_of(&nl, &lib, &opts, 1);
         assert_eq!(one.cells, single.cells);

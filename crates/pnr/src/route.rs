@@ -158,9 +158,8 @@ pub fn route(
     opts: &RouteOptions,
 ) -> Result<RoutedDesign, RouteError> {
     let mut grid = RoutingGrid::new_with_layers(placed.width, placed.height, opts.layers);
-    let mut search = Search::new(
-        placed.width as usize * placed.height as usize * opts.layers as usize,
-    );
+    let mut search =
+        Search::new(placed.width as usize * placed.height as usize * opts.layers as usize);
 
     // Reserve every pin's access points (layers 0 and 1) for its own
     // net: a foreign wire through a pin would make the pin
@@ -172,7 +171,8 @@ pub fn route(
                 let p = Point::new(layer, x, y);
                 if let Some(&other) = pin_owner.get(&p) {
                     assert_eq!(
-                        other, net,
+                        other,
+                        net,
                         "pins of nets `{}` and `{}` collide at ({x},{y})",
                         nl.net(other).name,
                         nl.net(net).name
@@ -302,11 +302,12 @@ fn route_net(
     let mut tree: Vec<Point> = Vec::new();
     let mut tree_set: std::collections::HashSet<Point> = std::collections::HashSet::new();
     let mut tree_edges: Vec<(Point, Point)> = Vec::new();
-    let push_tree = |p: Point, tree: &mut Vec<Point>, set: &mut std::collections::HashSet<Point>| {
-        if set.insert(p) {
-            tree.push(p);
-        }
-    };
+    let push_tree =
+        |p: Point, tree: &mut Vec<Point>, set: &mut std::collections::HashSet<Point>| {
+            if set.insert(p) {
+                tree.push(p);
+            }
+        };
 
     // Seed the tree with the first pin (both layers).
     let (x0, y0) = pins[0];
@@ -620,12 +621,7 @@ mod tests {
 
     #[test]
     fn merge_produces_maximal_segments() {
-        let e = |x0: i32, x1: i32| {
-            (
-                Point::new(LAYER_H, x0, 3),
-                Point::new(LAYER_H, x1, 3),
-            )
-        };
+        let e = |x0: i32, x1: i32| (Point::new(LAYER_H, x0, 3), Point::new(LAYER_H, x1, 3));
         let segs = merge_edges(&[e(0, 1), e(1, 2), e(2, 3), e(5, 6)]);
         let wires: Vec<_> = segs.iter().filter(|s| !s.is_via()).collect();
         assert_eq!(wires.len(), 2);

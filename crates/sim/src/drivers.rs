@@ -1,12 +1,20 @@
 //! Cycle drivers: single-ended CMOS and two-phase WDDL simulation
 //! loops around the event engine.
+//!
+//! These one-shot entry points compile the netlist
+//! ([`crate::CompiledSim::build`]) and run a single window. Campaign
+//! code that simulates many windows of the same netlist should compile
+//! once and call `CompiledSim::run_*` with a reused
+//! [`crate::EngineScratch`] instead — same results, no per-window
+//! setup.
 
 use secflow_cells::Library;
 use secflow_extract::Parasitics;
-use secflow_netlist::{GateId, NetId, Netlist};
+use secflow_netlist::{NetId, Netlist};
 
+use crate::compiled::{CompiledSim, EngineScratch};
 use crate::config::SimConfig;
-use crate::engine::{is_wddl_register, Engine};
+use crate::error::SimError;
 use crate::load::LoadModel;
 use crate::noise::add_gaussian_noise;
 
@@ -46,23 +54,35 @@ impl SimResult {
     }
 }
 
+/// Applies the post-simulation measurement-noise model, if configured.
+fn finish(mut result: SimResult, cfg: &SimConfig) -> SimResult {
+    if cfg.noise_sigma > 0.0 {
+        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
+    }
+    result
+}
+
 /// Simulates a single-ended (regular CMOS) netlist.
 ///
 /// `input_vectors[c][i]` is the value of primary input `i` (in
 /// [`Netlist::inputs`] order) during cycle `c`. Registers reset to 0.
 ///
+/// # Errors
+///
+/// [`SimError::UnknownCell`] if a gate references a cell missing from
+/// `lib`; [`SimError::CombinationalCycle`] if the netlist is cyclic.
+///
 /// # Panics
 ///
-/// Panics if any vector length differs from the input count, or the
-/// netlist is cyclic.
+/// Panics if any vector length differs from the input count.
 pub fn simulate_single_ended(
     nl: &Netlist,
     lib: &Library,
     parasitics: Option<&Parasitics>,
     cfg: &SimConfig,
     input_vectors: &[Vec<bool>],
-) -> SimResult {
-    let load = LoadModel::build(nl, lib, parasitics);
+) -> Result<SimResult, SimError> {
+    let load = LoadModel::try_build(nl, lib, parasitics)?;
     simulate_single_ended_with_load(nl, lib, &load, cfg, input_vectors)
 }
 
@@ -70,61 +90,23 @@ pub fn simulate_single_ended(
 ///
 /// Building the load model walks every gate and net; callers that
 /// simulate the same netlist many times (trace campaigns) build it
-/// once and reuse it across runs.
+/// once and reuse it across runs — or better, compile a
+/// [`CompiledSim`] once and skip per-window setup entirely.
+///
+/// # Errors
+///
+/// See [`simulate_single_ended`].
 pub fn simulate_single_ended_with_load(
     nl: &Netlist,
     lib: &Library,
     load: &LoadModel,
     cfg: &SimConfig,
     input_vectors: &[Vec<bool>],
-) -> SimResult {
-    let n_cycles = input_vectors.len();
-    let mut engine = Engine::new(nl, lib, load, cfg, n_cycles);
-    engine.settle_initial();
-
-    // Registers: (gate, d-net, q-net).
-    let regs: Vec<(GateId, NetId, NetId)> = nl
-        .gate_ids()
-        .filter(|&g| nl.gate(g).kind == secflow_netlist::GateKind::Seq)
-        .map(|g| (g, nl.gate(g).inputs[0], nl.gate(g).outputs[0]))
-        .collect();
-    let mut reg_state = vec![false; regs.len()];
-
-    let mut result = SimResult {
-        trace: Vec::new(),
-        cycle_energy_fj: Vec::with_capacity(n_cycles),
-        cycle_rises: Vec::with_capacity(n_cycles),
-        outputs_per_cycle: Vec::with_capacity(n_cycles),
-        wddl_alarms: Vec::new(),
-        waveform: Vec::new(),
-    };
-
-    for (c, vector) in input_vectors.iter().enumerate() {
-        assert_eq!(vector.len(), nl.inputs().len(), "bad vector length");
-        let t0 = c as u64 * cfg.period_ps;
-        for (i, (_, _, q)) in regs.iter().enumerate() {
-            engine.inject(*q, t0 + cfg.clk2q_ps, reg_state[i]);
-        }
-        for (&net, &v) in nl.inputs().iter().zip(vector) {
-            engine.inject(net, t0 + cfg.input_delay_ps, v);
-        }
-        engine.run_until(t0 + cfg.period_ps);
-        for (i, (_, d, _)) in regs.iter().enumerate() {
-            reg_state[i] = engine.value(*d);
-        }
-        let (e, rises) = engine.take_energy();
-        result.cycle_energy_fj.push(e);
-        result.cycle_rises.push(rises);
-        result
-            .outputs_per_cycle
-            .push(nl.outputs().iter().map(|&o| engine.value(o)).collect());
-    }
-    result.waveform = std::mem::take(&mut engine.waveform);
-    result.trace = engine.trace;
-    if cfg.noise_sigma > 0.0 {
-        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
-    }
-    result
+) -> Result<SimResult, SimError> {
+    let comp = CompiledSim::build(nl, lib, load, cfg)?;
+    let mut scratch = EngineScratch::new();
+    comp.run_single_ended(&mut scratch, input_vectors);
+    Ok(finish(scratch.take_sim_result(), cfg))
 }
 
 /// Simulates a WDDL differential netlist through the two-phase
@@ -136,6 +118,10 @@ pub fn simulate_single_ended_with_load(
 /// pairs and register outputs are driven to `(0, 0)`; in the
 /// evaluation phase to `(v, ¬v)`.
 ///
+/// # Errors
+///
+/// See [`simulate_single_ended`].
+///
 /// # Panics
 ///
 /// Panics if vector lengths are inconsistent.
@@ -146,13 +132,17 @@ pub fn simulate_wddl(
     cfg: &SimConfig,
     input_pairs: &[(NetId, NetId)],
     input_vectors: &[Vec<bool>],
-) -> SimResult {
-    let load = LoadModel::build(nl, lib, parasitics);
+) -> Result<SimResult, SimError> {
+    let load = LoadModel::try_build(nl, lib, parasitics)?;
     simulate_wddl_with_load(nl, lib, &load, cfg, input_pairs, input_vectors)
 }
 
 /// [`simulate_wddl`] with a caller-built [`LoadModel`]; see
 /// [`simulate_single_ended_with_load`].
+///
+/// # Errors
+///
+/// See [`simulate_single_ended`].
 pub fn simulate_wddl_with_load(
     nl: &Netlist,
     lib: &Library,
@@ -160,83 +150,59 @@ pub fn simulate_wddl_with_load(
     cfg: &SimConfig,
     input_pairs: &[(NetId, NetId)],
     input_vectors: &[Vec<bool>],
-) -> SimResult {
-    let n_cycles = input_vectors.len();
-    let mut engine = Engine::new(nl, lib, load, cfg, n_cycles);
-    // All-zero is the natural WDDL precharge state; the differential
-    // netlist is positive-monotone, so no settling is required, but it
-    // is harmless and handles tie cells.
-    engine.settle_initial();
+) -> Result<SimResult, SimError> {
+    let comp = CompiledSim::build(nl, lib, load, cfg)?;
+    let mut scratch = EngineScratch::new();
+    comp.run_wddl(&mut scratch, input_pairs, input_vectors);
+    Ok(finish(scratch.take_sim_result(), cfg))
+}
 
-    // WDDL registers: (dt, df, qt, qf).
-    let regs: Vec<(NetId, NetId, NetId, NetId)> = nl
-        .gate_ids()
-        .filter(|&g| is_wddl_register(nl.gate(g)))
-        .map(|g| {
-            let gate = nl.gate(g);
-            (gate.inputs[0], gate.inputs[1], gate.outputs[0], gate.outputs[1])
-        })
-        .collect();
-    // Reset to logical 0 as a *valid* code word (t, f) = (0, 1): a real
-    // WDDL register initializes to a legal differential state.
-    let mut reg_state: Vec<(bool, bool)> = vec![(false, true); regs.len()];
+/// Simulates a single-ended netlist with an idealized **glitch-free**
+/// power model: per cycle, every net settles directly to its final
+/// value and draws `C·Vdd` once if it rose — the power a designer
+/// might naively predict from switching activity alone. Comparing DPA
+/// outcomes against [`simulate_single_ended`] isolates how much
+/// leakage the glitches contribute (ablation of the inertial-delay
+/// model).
+///
+/// The whole cycle's charge is deposited uniformly over the first
+/// quarter of the cycle (temporal structure is not modelled).
+///
+/// # Errors
+///
+/// See [`simulate_single_ended`].
+///
+/// # Panics
+///
+/// Panics if vector lengths are inconsistent.
+pub fn simulate_single_ended_glitch_free(
+    nl: &Netlist,
+    lib: &Library,
+    parasitics: Option<&Parasitics>,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> Result<SimResult, SimError> {
+    let load = LoadModel::try_build(nl, lib, parasitics)?;
+    simulate_single_ended_glitch_free_with_load(nl, lib, &load, cfg, input_vectors)
+}
 
-    let mut result = SimResult {
-        trace: Vec::new(),
-        cycle_energy_fj: Vec::with_capacity(n_cycles),
-        cycle_rises: Vec::with_capacity(n_cycles),
-        outputs_per_cycle: Vec::with_capacity(n_cycles),
-        wddl_alarms: Vec::with_capacity(n_cycles),
-        waveform: Vec::new(),
-    };
-
-    for (c, vector) in input_vectors.iter().enumerate() {
-        assert_eq!(vector.len(), input_pairs.len(), "bad vector length");
-        let t0 = c as u64 * cfg.period_ps;
-        let te = t0 + cfg.eval_start_ps();
-
-        // Precharge phase: everything to (0, 0).
-        for (_, _, qt, qf) in &regs {
-            engine.inject(*qt, t0 + cfg.clk2q_ps, false);
-            engine.inject(*qf, t0 + cfg.clk2q_ps, false);
-        }
-        for &(t, f) in input_pairs {
-            engine.inject(t, t0 + cfg.input_delay_ps, false);
-            engine.inject(f, t0 + cfg.input_delay_ps, false);
-        }
-        // Evaluation phase: stored values and differential inputs.
-        for (i, (_, _, qt, qf)) in regs.iter().enumerate() {
-            engine.inject(*qt, te + cfg.clk2q_ps, reg_state[i].0);
-            engine.inject(*qf, te + cfg.clk2q_ps, reg_state[i].1);
-        }
-        for (&(t, f), &v) in input_pairs.iter().zip(vector) {
-            engine.inject(t, te + cfg.input_delay_ps, v);
-            engine.inject(f, te + cfg.input_delay_ps, !v);
-        }
-        engine.run_until(t0 + cfg.period_ps);
-
-        // Capture at the rising edge; (0,0) pairs are DFA alarms.
-        let mut alarms = 0;
-        for (i, (dt, df, _, _)) in regs.iter().enumerate() {
-            let pair = (engine.value(*dt), engine.value(*df));
-            if pair == (false, false) {
-                alarms += 1;
-            }
-            reg_state[i] = pair;
-        }
-        result.wddl_alarms.push(alarms);
-        let (e, rises) = engine.take_energy();
-        result.cycle_energy_fj.push(e);
-        result.cycle_rises.push(rises);
-        result
-            .outputs_per_cycle
-            .push(nl.outputs().iter().map(|&o| engine.value(o)).collect());
-    }
-    result.trace = engine.trace;
-    if cfg.noise_sigma > 0.0 {
-        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
-    }
-    result
+/// [`simulate_single_ended_glitch_free`] with a caller-built
+/// [`LoadModel`]; see [`simulate_single_ended_with_load`].
+///
+/// # Errors
+///
+/// See [`simulate_single_ended`].
+pub fn simulate_single_ended_glitch_free_with_load(
+    nl: &Netlist,
+    lib: &Library,
+    load: &LoadModel,
+    cfg: &SimConfig,
+    input_vectors: &[Vec<bool>],
+) -> Result<SimResult, SimError> {
+    let comp = CompiledSim::build(nl, lib, load, cfg)?;
+    let mut scratch = EngineScratch::new();
+    comp.run_single_ended_glitch_free(&mut scratch, input_vectors);
+    Ok(finish(scratch.take_sim_result(), cfg))
 }
 
 #[cfg(test)]
@@ -268,7 +234,7 @@ mod tests {
             vec![true, true],
             vec![true, true],
         ];
-        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors).unwrap();
         // q lags y by one cycle: cycles observe q = prev cycle's a&b.
         let qs: Vec<bool> = r.outputs_per_cycle.iter().map(|o| o[0]).collect();
         assert_eq!(qs, vec![false, true, false, true]);
@@ -282,10 +248,29 @@ mod tests {
         let cfg = SimConfig::default();
         // Cycle 1 with activity, cycle 2 without.
         let vectors = vec![vec![true, true], vec![true, true], vec![true, true]];
-        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &vectors).unwrap();
         // After the first cycle everything is stable: no switching.
         assert!(r.cycle_energy_fj[0] > 0.0);
         assert_eq!(r.cycle_energy_fj[2], 0.0);
+    }
+
+    #[test]
+    fn unknown_cell_surfaces_as_error() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_gate("g0", "NO_SUCH_CELL", GateKind::Comb, vec![a], vec![y]);
+        nl.mark_output(y);
+        let lib = Library::lib180();
+        let cfg = SimConfig::default();
+        let err = simulate_single_ended(&nl, &lib, None, &cfg, &[vec![false]]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownCell {
+                gate: "g0".into(),
+                cell: "NO_SUCH_CELL".into()
+            }
+        );
     }
 
     /// A tiny hand-built WDDL netlist: differential AND of one input
@@ -330,19 +315,15 @@ mod tests {
         let lib = wddl_lib();
         let cfg = SimConfig::default();
         let vectors = vec![vec![true, true], vec![false, true], vec![true, false]];
-        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors);
+        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors).unwrap();
         // Outputs (qt, qf) show previous cycle's AND value.
-        let got: Vec<(bool, bool)> = r
-            .outputs_per_cycle
-            .iter()
-            .map(|o| (o[0], o[1]))
-            .collect();
+        let got: Vec<(bool, bool)> = r.outputs_per_cycle.iter().map(|o| (o[0], o[1])).collect();
         // At the end of cycle c the register outputs hold the value
         // captured at the end of cycle c-1 (evaluation phase drove
         // them).
         assert_eq!(got[1], (true, false)); // a&b of cycle 0 = 1
         assert_eq!(got[2], (false, true)); // a&b of cycle 1 = 0
-        // Every cycle completes: no alarms.
+                                           // Every cycle completes: no alarms.
         assert_eq!(r.wddl_alarms, vec![0, 0, 0]);
     }
 
@@ -353,7 +334,7 @@ mod tests {
         let cfg = SimConfig::default();
         // Two very different input sequences.
         let run = |vectors: Vec<Vec<bool>>| {
-            simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors)
+            simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors).unwrap()
         };
         let r1 = run(vec![vec![true, true]; 4]);
         let r2 = run(vec![
@@ -380,116 +361,36 @@ mod tests {
             ..Default::default()
         };
         let vectors = vec![vec![true, true]; 3];
-        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors);
+        let r = simulate_wddl(&nl, &lib, None, &cfg, &pairs, &vectors).unwrap();
         assert!(r.wddl_alarms.iter().any(|&a| a > 0), "no alarm raised");
     }
-}
 
-/// Simulates a single-ended netlist with an idealized **glitch-free**
-/// power model: per cycle, every net settles directly to its final
-/// value and draws `C·Vdd` once if it rose — the power a designer
-/// might naively predict from switching activity alone. Comparing DPA
-/// outcomes against [`simulate_single_ended`] isolates how much
-/// leakage the glitches contribute (ablation of the inertial-delay
-/// model).
-///
-/// The whole cycle's charge is deposited uniformly over the first
-/// quarter of the cycle (temporal structure is not modelled).
-///
-/// # Panics
-///
-/// Panics if vector lengths are inconsistent or the netlist is cyclic.
-pub fn simulate_single_ended_glitch_free(
-    nl: &Netlist,
-    lib: &Library,
-    parasitics: Option<&Parasitics>,
-    cfg: &SimConfig,
-    input_vectors: &[Vec<bool>],
-) -> SimResult {
-    let load = LoadModel::build(nl, lib, parasitics);
-    simulate_single_ended_glitch_free_with_load(nl, lib, &load, cfg, input_vectors)
-}
-
-/// [`simulate_single_ended_glitch_free`] with a caller-built
-/// [`LoadModel`]; see [`simulate_single_ended_with_load`].
-pub fn simulate_single_ended_glitch_free_with_load(
-    nl: &Netlist,
-    lib: &Library,
-    load: &LoadModel,
-    cfg: &SimConfig,
-    input_vectors: &[Vec<bool>],
-) -> SimResult {
-    use crate::functional::eval_comb;
-
-    let n_cycles = input_vectors.len();
-    let spc = cfg.samples_per_cycle;
-    let regs: Vec<(NetId, NetId)> = nl
-        .gates()
-        .iter()
-        .filter(|g| g.kind == secflow_netlist::GateKind::Seq)
-        .map(|g| (g.inputs[0], g.outputs[0]))
-        .collect();
-    let mut reg_state = vec![false; regs.len()];
-    let mut prev_values = vec![false; nl.net_count()];
-    // Consistent initial state (inverters settle high).
-    {
-        let forced: Vec<(NetId, bool)> = Vec::new();
-        prev_values = eval_comb(nl, lib, &forced);
+    #[test]
+    fn compiled_campaign_matches_one_shot_driver() {
+        // The compile-once path must be byte-identical to the legacy
+        // per-window entry point, including across scratch reuse.
+        let (nl, pairs) = wddl_netlist();
+        let lib = wddl_lib();
+        let cfg = SimConfig {
+            samples_per_cycle: 40,
+            ..Default::default()
+        };
+        let load = LoadModel::build(&nl, &lib, None);
+        let comp = CompiledSim::build(&nl, &lib, &load, &cfg).unwrap();
+        let mut scratch = EngineScratch::new();
+        let windows = [
+            vec![vec![true, true], vec![false, true]],
+            vec![vec![false, false], vec![true, false], vec![true, true]],
+        ];
+        for vectors in &windows {
+            let legacy = simulate_wddl(&nl, &lib, None, &cfg, &pairs, vectors).unwrap();
+            comp.run_wddl(&mut scratch, &pairs, vectors);
+            let legacy_bits: Vec<u64> = legacy.trace.iter().map(|x| x.to_bits()).collect();
+            let compiled_bits: Vec<u64> = scratch.trace().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(legacy_bits, compiled_bits);
+            assert_eq!(legacy.wddl_alarms, scratch.wddl_alarms());
+        }
     }
-
-    let mut result = SimResult {
-        trace: vec![0.0; n_cycles * spc],
-        cycle_energy_fj: Vec::with_capacity(n_cycles),
-        cycle_rises: Vec::with_capacity(n_cycles),
-        outputs_per_cycle: Vec::with_capacity(n_cycles),
-        wddl_alarms: Vec::new(),
-        waveform: Vec::new(),
-    };
-    let exempt: Vec<bool> = nl
-        .net_ids()
-        .map(|id| nl.inputs().contains(&id))
-        .collect();
-
-    for (c, vector) in input_vectors.iter().enumerate() {
-        assert_eq!(vector.len(), nl.inputs().len());
-        let mut forced: Vec<(NetId, bool)> = nl
-            .inputs()
-            .iter()
-            .copied()
-            .zip(vector.iter().copied())
-            .collect();
-        for ((_, q), &v) in regs.iter().zip(&reg_state) {
-            forced.push((*q, v));
-        }
-        let values = eval_comb(nl, lib, &forced);
-        let mut energy = 0.0;
-        let mut rises = 0u64;
-        for id in nl.net_ids() {
-            let i = id.index();
-            if values[i] && !prev_values[i] && !exempt[i] {
-                energy += load.c_eff_ff[i] * cfg.vdd * cfg.vdd;
-                rises += 1;
-            }
-        }
-        // Deposit the charge over the first quarter of the cycle.
-        let bins = (spc / 4).max(1);
-        for b in 0..bins {
-            result.trace[c * spc + b] += energy / cfg.vdd / bins as f64;
-        }
-        for (i, (d, _)) in regs.iter().enumerate() {
-            reg_state[i] = values[d.index()];
-        }
-        result.cycle_energy_fj.push(energy);
-        result.cycle_rises.push(rises);
-        result
-            .outputs_per_cycle
-            .push(nl.outputs().iter().map(|&o| values[o.index()]).collect());
-        prev_values = values;
-    }
-    if cfg.noise_sigma > 0.0 {
-        add_gaussian_noise(&mut result.trace, cfg.noise_sigma, cfg.noise_seed);
-    }
-    result
 }
 
 #[cfg(test)]
@@ -519,7 +420,7 @@ mod glitch_free_tests {
             vec![false, true],
             vec![false, true],
         ];
-        let r = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors);
+        let r = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors).unwrap();
         let qs: Vec<bool> = r.outputs_per_cycle.iter().map(|o| o[0]).collect();
         assert_eq!(qs, vec![false, true, false, true, true]);
         // Fully settled last cycle (inputs and state unchanged): zero
@@ -548,8 +449,8 @@ mod glitch_free_tests {
         let vectors: Vec<Vec<bool>> = (0..16u32)
             .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1])
             .collect();
-        let ev = simulate_single_ended(&nl, &lib, None, &cfg, &vectors);
-        let gf = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors);
+        let ev = simulate_single_ended(&nl, &lib, None, &cfg, &vectors).unwrap();
+        let gf = simulate_single_ended_glitch_free(&nl, &lib, None, &cfg, &vectors).unwrap();
         let ev_total: f64 = ev.cycle_energy_fj.iter().sum();
         let gf_total: f64 = gf.cycle_energy_fj.iter().sum();
         assert!(ev_total >= gf_total * 0.999, "{ev_total} < {gf_total}");
@@ -591,7 +492,9 @@ mod crosstalk_tests {
             samples_per_cycle: 40,
             ..Default::default()
         };
-        simulate_single_ended(nl, &lib, Some(par), &cfg, &vectors).cycle_energy_fj[1]
+        simulate_single_ended(nl, &lib, Some(par), &cfg, &vectors)
+            .unwrap()
+            .cycle_energy_fj[1]
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Typed simulation errors.
+
+use std::fmt;
+
+/// Why a netlist could not be compiled for simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A gate references a cell the library does not contain.
+    UnknownCell {
+        /// Instance name of the offending gate.
+        gate: String,
+        /// The unresolved cell name.
+        cell: String,
+    },
+    /// The netlist's combinational portion contains a cycle, so no
+    /// evaluation order exists.
+    CombinationalCycle {
+        /// Module name of the offending netlist.
+        netlist: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownCell { gate, cell } => {
+                write!(f, "gate `{gate}` references unknown cell `{cell}`")
+            }
+            SimError::CombinationalCycle { netlist } => {
+                write!(f, "netlist `{netlist}` has a combinational cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

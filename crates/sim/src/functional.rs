@@ -104,11 +104,7 @@ mod tests {
         let q = nl.add_net("q");
         nl.add_gate("r", "DFF", GateKind::Seq, vec![a], vec![q]);
         nl.mark_output(q);
-        let outs = run_cycles(
-            &nl,
-            &lib,
-            &[vec![true], vec![false], vec![true]],
-        );
+        let outs = run_cycles(&nl, &lib, &[vec![true], vec![false], vec![true]]);
         // Output shows the previous cycle's input.
         assert_eq!(outs, vec![vec![false], vec![true], vec![false]]);
     }

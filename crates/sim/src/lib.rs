@@ -21,15 +21,26 @@
 //! sampled exactly like the paper's measurements (800 samples per
 //! cycle at 125 MHz by default).
 
+//!
+//! For trace campaigns (thousands of short windows over one netlist),
+//! compile once with [`CompiledSim::build`] and reuse an
+//! [`EngineScratch`] per worker thread: the compiled kernel resolves
+//! cells, fanout adjacency, loads and the topological order up front
+//! and performs zero heap allocations per steady-state window, while
+//! staying byte-identical to the one-shot `simulate_*` drivers.
+
+pub mod compiled;
 mod config;
 mod drivers;
 mod engine;
+mod error;
 pub mod functional;
 mod load;
 mod noise;
 pub mod sta;
 pub mod vcd;
 
+pub use compiled::{CompiledSim, EngineScratch};
 pub use config::SimConfig;
 pub use drivers::{
     simulate_single_ended, simulate_single_ended_glitch_free,
@@ -37,5 +48,6 @@ pub use drivers::{
     simulate_wddl_with_load, SimResult,
 };
 pub use engine::is_wddl_register;
+pub use error::SimError;
 pub use load::LoadModel;
 pub use noise::add_gaussian_noise;

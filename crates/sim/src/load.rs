@@ -4,6 +4,8 @@ use secflow_cells::{CellFunction, Library};
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
 
+use crate::error::SimError;
+
 /// Default wire-load estimate (fF per sink) used before layout
 /// parasitics exist.
 const PRE_LAYOUT_WIRE_FF_PER_SINK: f64 = 1.5;
@@ -31,12 +33,35 @@ impl LoadModel {
     ///
     /// # Panics
     ///
-    /// Panics if a gate references a cell missing from `lib`.
+    /// Panics if a gate references a cell missing from `lib`; use
+    /// [`LoadModel::try_build`] for a recoverable error.
     pub fn build(nl: &Netlist, lib: &Library, parasitics: Option<&Parasitics>) -> Self {
+        Self::try_build(nl, lib, parasitics).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`LoadModel::build`], surfacing unresolved cells as
+    /// [`SimError::UnknownCell`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownCell`] if a gate references a cell missing
+    /// from `lib`.
+    pub fn try_build(
+        nl: &Netlist,
+        lib: &Library,
+        parasitics: Option<&Parasitics>,
+    ) -> Result<Self, SimError> {
         let n = nl.net_count();
         let mut c_eff = vec![0.0f64; n];
         let mut drive = vec![0.0f64; n];
         let mut couplings = vec![Vec::new(); n];
+        let resolve = |gate: secflow_netlist::GateId| {
+            let g = nl.gate(gate);
+            lib.by_name(&g.cell).ok_or_else(|| SimError::UnknownCell {
+                gate: g.name.clone(),
+                cell: g.cell.clone(),
+            })
+        };
 
         for id in nl.net_ids() {
             let net = nl.net(id);
@@ -46,10 +71,7 @@ impl LoadModel {
                 0.0
             };
             for s in &net.sinks {
-                let g = nl.gate(s.gate);
-                let cell = lib
-                    .by_name(&g.cell)
-                    .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell));
+                let cell = resolve(s.gate)?;
                 // Tie cells have no inputs; everything else has one
                 // pin cap per input pin.
                 if !matches!(cell.function(), CellFunction::Tie(_)) {
@@ -69,17 +91,14 @@ impl LoadModel {
             }
             c_eff[id.index()] = c;
             if let Some(d) = net.driver {
-                let cell = lib
-                    .by_name(&nl.gate(d.gate).cell)
-                    .expect("driver cell exists");
-                drive[id.index()] = cell.drive_kohm();
+                drive[id.index()] = resolve(d.gate)?.drive_kohm();
             }
         }
-        LoadModel {
+        Ok(LoadModel {
             c_eff_ff: c_eff,
             drive_kohm: drive,
             couplings,
-        }
+        })
     }
 
     /// Gate propagation delay in ps for the driver of `net`, using the

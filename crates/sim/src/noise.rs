@@ -32,8 +32,7 @@ mod tests {
         let mut trace = vec![0.0; 100_000];
         add_gaussian_noise(&mut trace, 2.0, 42);
         let mean = trace.iter().sum::<f64>() / trace.len() as f64;
-        let var = trace.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / trace.len() as f64;
+        let var = trace.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trace.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "sigma {}", var.sqrt());
     }

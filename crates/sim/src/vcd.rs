@@ -114,7 +114,7 @@ mod tests {
             record_waveform: true,
             ..Default::default()
         };
-        let r = simulate_single_ended(&nl, &lib, None, &cfg, &[vec![true], vec![false]]);
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &[vec![true], vec![false]]).unwrap();
         assert!(!r.waveform.is_empty());
         let vcd = write_vcd(&nl, &r.waveform, "t");
         assert!(vcd.contains("$var wire 1"));
@@ -136,7 +136,7 @@ mod tests {
             samples_per_cycle: 20,
             ..Default::default()
         };
-        let r = simulate_single_ended(&nl, &lib, None, &cfg, &[vec![true]]);
+        let r = simulate_single_ended(&nl, &lib, None, &cfg, &[vec![true]]).unwrap();
         assert!(r.waveform.is_empty());
     }
 

@@ -49,7 +49,10 @@ pub fn simulate_comb(
         leaves[design.aig.leaf_index(l.node()).expect("input is a leaf") as usize] = v;
     }
     for (r, &v) in design.registers.iter().zip(reg_values) {
-        leaves[design.aig.leaf_index(r.q.node()).expect("register q is a leaf") as usize] = v;
+        leaves[design
+            .aig
+            .leaf_index(r.q.node())
+            .expect("register q is a leaf") as usize] = v;
     }
     let val = eval_nodes(&design.aig, &leaves);
     let outs = design

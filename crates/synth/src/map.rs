@@ -180,10 +180,7 @@ impl<'a> Mapper<'a> {
             let Some(m) = self.find_match(&tt) else {
                 continue;
             };
-            let leaf_flow: f64 = cut
-                .iter()
-                .map(|l| self.aflow[l.0 as usize])
-                .sum();
+            let leaf_flow: f64 = cut.iter().map(|l| self.aflow[l.0 as usize]).sum();
             let cost = m.area_um2 + leaf_flow;
             if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                 best = Some((cost, cut, m));
@@ -469,9 +466,7 @@ mod tests {
                 .inputs
                 .iter()
                 .enumerate()
-                .map(|(i, (name, _))| {
-                    (nl.net_by_name(name).expect("input net"), pat >> i & 1 == 1)
-                })
+                .map(|(i, (name, _))| (nl.net_by_name(name).expect("input net"), pat >> i & 1 == 1))
                 .collect();
             let got = eval_netlist(nl, lib, &inputs);
             let in_words: Vec<u64> = (0..n_in)
@@ -543,10 +538,7 @@ mod tests {
         let lib = Library::lib180();
         let nl = map_design(&d, &lib, &MapOptions::default()).unwrap();
         assert!(nl.validate().is_ok());
-        assert_eq!(
-            nl.gates().iter().filter(|g| g.cell == "DFF").count(),
-            2
-        );
+        assert_eq!(nl.gates().iter().filter(|g| g.cell == "DFF").count(), 2);
     }
 
     #[test]
@@ -630,7 +622,9 @@ mod tests {
         let mut pool = ins.clone();
         let mut state = 0x12345678u64;
         let mut next = |m: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize % m
         };
         for k in 0..40 {

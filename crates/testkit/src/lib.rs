@@ -301,7 +301,10 @@ mod tests {
         // At scale 1/64 the length range collapses to exactly 1 and
         // the property passes, so the reported scale must be small but
         // nonzero.
-        assert!(msg.contains("scale 0.0"), "expected shrunk scale, got: {msg}");
+        assert!(
+            msg.contains("scale 0.0"),
+            "expected shrunk scale, got: {msg}"
+        );
     }
 
     #[test]

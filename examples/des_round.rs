@@ -12,8 +12,7 @@
 use secflow::cells::Library;
 use secflow::crypto::des_round::des_round_design;
 use secflow::flow::{
-    run_secure_flow, substitute, verify_precharge_wave, verify_rail_complementarity,
-    FlowOptions,
+    run_secure_flow, substitute, verify_precharge_wave, verify_rail_complementarity, FlowOptions,
 };
 use secflow::lec::check_equiv_random_with_parity;
 use secflow::netlist::NetlistStats;
@@ -49,9 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         16,
         1,
     )?;
-    println!("fat-vs-original equivalence (random, 1024 vectors): {}", lec.equivalent);
+    println!(
+        "fat-vs-original equivalence (random, 1024 vectors): {}",
+        lec.equivalent
+    );
     verify_precharge_wave(&sub)?;
-    println!("precharge wave reaches all {} nets", sub.differential.net_count());
+    println!(
+        "precharge wave reaches all {} nets",
+        sub.differential.net_count()
+    );
     verify_rail_complementarity(&mapped, &lib, &sub, 32, 7)?;
     println!("rail complementarity holds on 32 random source vectors");
 

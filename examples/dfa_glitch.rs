@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A short burst of random-ish plaintexts.
     let vectors: Vec<Vec<bool>> = (0..24u32)
-        .map(|c| (0..16).map(|i| (c.wrapping_mul(2654435761) >> i) & 1 == 1).collect())
+        .map(|c| {
+            (0..16)
+                .map(|i| (c.wrapping_mul(2654435761) >> i) & 1 == 1)
+                .collect()
+        })
         .collect();
 
     let cfg = SimConfig::default();
@@ -33,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[0.5, 0.75, 0.9, 0.97],
     );
 
-    println!("{:>12} {:>8} {:>10} {:>9}", "eval phase", "alarms", "corrupted", "caught");
+    println!(
+        "{:>12} {:>8} {:>10} {:>9}",
+        "eval phase", "alarms", "corrupted", "caught"
+    );
     for p in &points {
         println!(
             "{:>11.0}% {:>8} {:>10} {:>9}",
@@ -50,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     assert!(
-        points.iter().all(|p| p.corrupted_outputs == 0 || p.faults_detected),
+        points
+            .iter()
+            .all(|p| p.corrupted_outputs == 0 || p.faults_detected),
         "a fault escaped the WDDL alarm"
     );
     println!("\nevery glitch-induced fault was flagged by an invalid (0,0) register input");

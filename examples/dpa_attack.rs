@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 lib: &lib,
                 parasitics: Some(&regular.parasitics),
                 wddl_inputs: None,
-            glitch_free: false,
-        },
+                glitch_free: false,
+            },
         ),
         (
             "secure",
@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 lib: &secure.substitution.diff_lib,
                 parasitics: Some(&secure.parasitics),
                 wddl_inputs: Some(&secure.substitution.input_pairs),
-            glitch_free: false,
-        },
+                glitch_free: false,
+            },
         ),
     ] {
         eprintln!("simulating {n} encryptions on the {name} implementation...");

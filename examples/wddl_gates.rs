@@ -46,7 +46,10 @@ fn main() {
         .expect("combinational");
     println!("\nFig. 2 — the WDDL AOI32 compound:");
     println!("  single-ended: Y = NOT(A·B·C + D·E)");
-    println!("  true rail  = {}   (negative literals read the false rails)", isop(aoi32));
+    println!(
+        "  true rail  = {}   (negative literals read the false rails)",
+        isop(aoi32)
+    );
     println!("  false rail = {}", isop(&aoi32.not()));
     let idx = wddl.compound_for(aoi32);
     let c = wddl.compound(idx);

@@ -17,4 +17,7 @@ done
 echo "== tier-1: experiment smoke (Fig. 6 MTD pipeline, 150 traces) =="
 cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke
 
+echo "== tier-1: compiled-kernel bench smoke (baseline bit-equality self-check) =="
+cargo bench --offline -p secflow-bench --bench flow_stages -- sim_kernel --smoke
+
 echo "tier-1 gate: OK"

@@ -10,7 +10,9 @@ use secflow::crypto::dpa_module::{des_dpa_design, PAPER_KEY};
 use secflow::dpa::attack::dpa_attack;
 use secflow::dpa::harness::{collect_des_traces, DesTarget, TraceSet};
 use secflow::dpa::stats::EnergyStats;
-use secflow::flow::{run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult};
+use secflow::flow::{
+    run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,
+};
 use secflow::sim::SimConfig;
 
 const N_TRACES: usize = 250;

@@ -48,7 +48,9 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
 
     let campaign = || -> TraceSet { collect_des_traces(&target, &cfg, 46, 24, 9) };
     let reference = with_threads(1, campaign);
-    let ref_attack = with_threads(1, || dpa_attack(&reference.traces, 64, reference.selector()));
+    let ref_attack = with_threads(1, || {
+        dpa_attack(&reference.traces, 64, reference.selector())
+    });
     let ref_scan = with_threads(1, || {
         mtd_scan(&reference.traces, 64, 46, 10, reference.selector())
     });
@@ -56,7 +58,11 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
     for t in THREAD_COUNTS {
         let set = with_threads(t, campaign);
         assert_eq!(set.ciphertexts, reference.ciphertexts, "{t} threads");
-        assert_eq!(bits(&set.energies), bits(&reference.energies), "{t} threads");
+        assert_eq!(
+            bits(&set.energies),
+            bits(&reference.energies),
+            "{t} threads"
+        );
         for (a, b) in set.traces.iter().zip(&reference.traces) {
             assert_eq!(bits(a), bits(b), "{t} threads");
         }
@@ -73,7 +79,11 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
         for (a, b) in scan.points.iter().zip(&ref_scan.points) {
             assert_eq!(a.traces, b.traces, "{t} threads");
             assert_eq!(a.disclosed, b.disclosed, "{t} threads");
-            assert_eq!(a.correct_peak.to_bits(), b.correct_peak.to_bits(), "{t} threads");
+            assert_eq!(
+                a.correct_peak.to_bits(),
+                b.correct_peak.to_bits(),
+                "{t} threads"
+            );
             assert_eq!(
                 a.best_wrong_peak.to_bits(),
                 b.best_wrong_peak.to_bits(),
@@ -107,7 +117,11 @@ fn extraction_is_identical_across_thread_counts() {
         assert_eq!(p.nets.len(), reference.nets.len());
         for (a, b) in p.nets.iter().zip(&reference.nets) {
             assert_eq!(a.r_ohm.to_bits(), b.r_ohm.to_bits(), "{t} threads");
-            assert_eq!(a.c_ground_ff.to_bits(), b.c_ground_ff.to_bits(), "{t} threads");
+            assert_eq!(
+                a.c_ground_ff.to_bits(),
+                b.c_ground_ff.to_bits(),
+                "{t} threads"
+            );
             assert_eq!(a.couplings.len(), b.couplings.len(), "{t} threads");
             for (&(na, ca), &(nb, cb)) in a.couplings.iter().zip(&b.couplings) {
                 assert_eq!(na, nb, "{t} threads");
@@ -125,7 +139,9 @@ fn cpa_is_identical_across_thread_counts() {
     let mut traces = Vec::new();
     let mut crs = Vec::new();
     for _ in 0..150 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let cr = ((state >> 33) & 0x3f) as u8;
         crs.push(cr);
         let hw = f64::from(secflow::crypto::des::sbox(0, cr ^ 21).count_ones());
@@ -143,7 +159,11 @@ fn cpa_is_identical_across_thread_counts() {
             cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i]))
         });
         assert_eq!(r.best_key, reference.best_key, "{t} threads");
-        assert_eq!(r.margin.to_bits(), reference.margin.to_bits(), "{t} threads");
+        assert_eq!(
+            r.margin.to_bits(),
+            reference.margin.to_bits(),
+            "{t} threads"
+        );
         for (a, b) in r.guesses.iter().zip(&reference.guesses) {
             assert_eq!(a.peak_corr.to_bits(), b.peak_corr.to_bits(), "{t} threads");
         }

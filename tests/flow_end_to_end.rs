@@ -23,16 +23,14 @@ fn options() -> FlowOptions {
 fn regular() -> &'static RegularFlowResult {
     static CELL: OnceLock<RegularFlowResult> = OnceLock::new();
     CELL.get_or_init(|| {
-        run_regular_flow(&des_dpa_design(), &Library::lib180(), &options())
-            .expect("regular flow")
+        run_regular_flow(&des_dpa_design(), &Library::lib180(), &options()).expect("regular flow")
     })
 }
 
 fn secure() -> &'static SecureFlowResult {
     static CELL: OnceLock<SecureFlowResult> = OnceLock::new();
     CELL.get_or_init(|| {
-        run_secure_flow(&des_dpa_design(), &Library::lib180(), &options())
-            .expect("secure flow")
+        run_secure_flow(&des_dpa_design(), &Library::lib180(), &options()).expect("secure flow")
     })
 }
 
@@ -56,7 +54,10 @@ fn secure_flow_on_des_module_with_verification() {
     assert!(s.substitution.fat.validate().is_ok());
     assert!(s.substitution.wddl.len() >= 4);
     // Matched pairs.
-    let mean_mm = s.report.mean_pair_mismatch.expect("secure flow reports mismatch");
+    let mean_mm = s
+        .report
+        .mean_pair_mismatch
+        .expect("secure flow reports mismatch");
     assert!(mean_mm < 0.25, "mean pair mismatch {mean_mm}");
 }
 
@@ -87,10 +88,7 @@ fn def_artifacts_round_trip() {
     let text = write_def(&s.decomposed, &s.substitution.differential);
     let parsed = parse_def(&text, &s.substitution.differential).expect("parse diff.def");
     assert_eq!(parsed.nets.len(), s.decomposed.nets.len());
-    assert_eq!(
-        parsed.placed.input_pads,
-        s.decomposed.placed.input_pads
-    );
+    assert_eq!(parsed.placed.input_pads, s.decomposed.placed.input_pads);
 }
 
 #[test]
@@ -156,7 +154,11 @@ fn both_flows_close_timing_at_125_mhz() {
 
 #[test]
 fn clock_trees_are_synthesized() {
-    let rc = regular().report.clock.as_ref().expect("DES module has registers");
+    let rc = regular()
+        .report
+        .clock
+        .as_ref()
+        .expect("DES module has registers");
     let sc = secure().report.clock.as_ref().expect("secure flow clock");
     assert_eq!(rc.sinks, 20, "PL+PR+CL+CR = 20 registers");
     assert_eq!(sc.sinks, 20, "fat registers, one per original");

@@ -20,7 +20,9 @@ fn current() -> (Netlist, Netlist) {
     let design = des_dpa_design();
     let lib = Library::lib180();
     let mapped = map_design(&design, &lib, &MapOptions::default()).expect("mapping");
-    let differential = substitute(&mapped, &lib).expect("substitution").differential;
+    let differential = substitute(&mapped, &lib)
+        .expect("substitution")
+        .differential;
     (mapped, differential)
 }
 

@@ -65,7 +65,9 @@ fn all_simulators_agree_with_the_model() {
     for v in &vecs {
         let words: Vec<u64> = v.iter().map(|&b| if b { !0 } else { 0 }).collect();
         let outs = simulate_seq(&design, &mut st, &words);
-        aig_out.push(decode(&outs.iter().map(|&w| w & 1 == 1).collect::<Vec<_>>()));
+        aig_out.push(decode(
+            &outs.iter().map(|&w| w & 1 == 1).collect::<Vec<_>>(),
+        ));
     }
 
     // 2. Zero-delay gate-level simulation of the mapped netlist.
@@ -79,12 +81,8 @@ fn all_simulators_agree_with_the_model() {
         samples_per_cycle: 100,
         ..Default::default()
     };
-    let sim = simulate_single_ended(&nl, &lib, None, &cfg, &vecs);
-    let event_out: Vec<(u8, u8)> = sim
-        .outputs_per_cycle
-        .iter()
-        .map(|o| decode(o))
-        .collect();
+    let sim = simulate_single_ended(&nl, &lib, None, &cfg, &vecs).unwrap();
+    let event_out: Vec<(u8, u8)> = sim.outputs_per_cycle.iter().map(|o| decode(o)).collect();
 
     // 4. Software model (2-cycle pipeline latency).
     for (i, &(pl, pr)) in stimuli().iter().enumerate() {
@@ -118,7 +116,8 @@ fn secure_flow_differential_sim_agrees_with_model() {
         &cfg,
         &sub.input_pairs,
         &vecs,
-    );
+    )
+    .unwrap();
     // No alarms at the nominal clock.
     assert!(sim.wddl_alarms.iter().all(|&a| a == 0));
     for (i, &(pl, pr)) in stimuli().iter().enumerate() {

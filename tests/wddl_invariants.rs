@@ -79,11 +79,14 @@ fn substitution_invariants_hold_across_designs() {
             Some(&sub.fat_register_parity),
         )
         .expect("LEC ran");
-        assert!(r.equivalent, "`{}`: fat netlist not equivalent: {r:?}", d.name);
+        assert!(
+            r.equivalent,
+            "`{}`: fat netlist not equivalent: {r:?}",
+            d.name
+        );
 
         // 3. The precharge wave reaches every net.
-        verify_precharge_wave(&sub)
-            .unwrap_or_else(|e| panic!("`{}`: {e}", d.name));
+        verify_precharge_wave(&sub).unwrap_or_else(|e| panic!("`{}`: {e}", d.name));
 
         // 4. Rails complementary and outputs correct.
         verify_rail_complementarity(&nl, &lib, &sub, 48, 5)
@@ -120,7 +123,11 @@ fn differential_netlist_is_positive_logic_plus_registers() {
                 || g.cell == "TIELO"
                 || g.cell == "TIEHI"
                 || g.cell == "WDDLDFF";
-            assert!(ok, "`{}`: non-positive cell {} in differential netlist", d.name, g.cell);
+            assert!(
+                ok,
+                "`{}`: non-positive cell {} in differential netlist",
+                d.name, g.cell
+            );
         }
     }
 }
