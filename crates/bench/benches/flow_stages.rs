@@ -61,10 +61,11 @@ fn bench_decomposition(filter: &str) {
             anneal_moves_per_gate: 20,
             ..Default::default()
         },
-    );
+    )
+    .expect("place");
     let routed = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default()).expect("route");
     bench("interconnect_decomposition_des", K, || {
-        black_box(decompose(black_box(&routed), &sub));
+        black_box(decompose(black_box(&routed), &sub).expect("decompose"));
     });
 }
 
@@ -80,9 +81,9 @@ fn bench_pnr(filter: &str) {
         ..Default::default()
     };
     bench("place_and_route_des/placement", K, || {
-        black_box(place(black_box(&mapped), &lib, &opts));
+        black_box(place(black_box(&mapped), &lib, &opts).expect("place"));
     });
-    let placed = place(&mapped, &lib, &opts);
+    let placed = place(&mapped, &lib, &opts).expect("place");
     bench("place_and_route_des/routing", K, || {
         route(black_box(&mapped), &lib, &placed, &RouteOptions::default()).expect("route");
     });
@@ -139,9 +140,9 @@ fn bench_power_sim_and_attack(filter: &str) {
         glitch_free: false,
     };
     bench("dpa_pipeline/simulate_50_encryptions_wddl", K, || {
-        black_box(collect_des_traces(black_box(&target), &cfg, 46, 50, 1));
+        black_box(collect_des_traces(black_box(&target), &cfg, 46, 50, 1).expect("campaign"));
     });
-    let set = collect_des_traces(&target, &cfg, 46, 200, 1);
+    let set = collect_des_traces(&target, &cfg, 46, 200, 1).expect("campaign");
     bench("dpa_pipeline/dpa_attack_200_traces_64_keys", K, || {
         black_box(dpa_attack(black_box(&set.traces), 64, set.selector()));
     });
@@ -169,14 +170,14 @@ fn bench_exec_speedup(filter: &str) {
     let threads = secflow_exec::effective_threads();
     let serial = time_median(&format!("exec_speedup/serial_{n}_encryptions"), K, || {
         secflow_exec::with_threads(1, || {
-            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1));
+            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1).expect("campaign"));
         });
     });
     let parallel = time_median(
         &format!("exec_speedup/parallel_{n}_encryptions_t{threads}"),
         K,
         || {
-            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1));
+            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1).expect("campaign"));
         },
     );
     println!("{}", serial.json_line());
@@ -261,7 +262,7 @@ fn bench_sim_kernel(filter: &str, smoke: bool) {
 
     // Each campaign returns every leakage-cycle (trace, energy).
     let baseline = || -> Vec<(Vec<f64>, f64)> {
-        let load = LoadModel::build(nl, wlib, None);
+        let load = LoadModel::try_build(nl, wlib, None).unwrap();
         windows
             .iter()
             .map(|vectors| {
@@ -277,7 +278,7 @@ fn bench_sim_kernel(filter: &str, smoke: bool) {
             .collect()
     };
     let compiled = || -> Vec<(Vec<f64>, f64)> {
-        let load = LoadModel::build(nl, wlib, None);
+        let load = LoadModel::try_build(nl, wlib, None).unwrap();
         let comp = CompiledSim::build(nl, wlib, &load, &cfg).expect("compiles");
         let mut scratch = EngineScratch::new();
         windows

@@ -52,10 +52,10 @@ fn main() {
     println!("area ratio secure/reference = {area_ratio:.2} (paper: 12880/3782 = 3.41)");
 
     eprintln!("simulating {n} encryptions on each implementation...");
-    let reg = collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed);
-    let sec = collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed);
-    let reg_stats = EnergyStats::of(&reg.energies, 1);
-    let sec_stats = EnergyStats::of(&sec.energies, 1);
+    let reg = secflow_bench::ok_or_exit(collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed));
+    let sec = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed));
+    let reg_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&reg.energies, 1));
+    let sec_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&sec.energies, 1));
 
     header("energy per encryption");
     row(

@@ -33,7 +33,7 @@ fn main() {
         ("secure", imps.secure_target()),
     ] {
         eprintln!("simulating {n} encryptions on the {name} implementation...");
-        let set = collect_des_traces(&target, &cfg, PAPER_KEY, n, seed);
+        let set = secflow_bench::ok_or_exit(collect_des_traces(&target, &cfg, PAPER_KEY, n, seed));
 
         let dpa = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector());
         let (hw_points, hw_mtd) = cpa_mtd_scan(&set.traces, 64, PAPER_KEY, step, |k, i| {

@@ -47,6 +47,7 @@ fn main() {
         &vectors,
         &fractions,
     );
+    let points = secflow_bench::ok_or_exit(points);
     let mut attack_succeeded = false;
     for p in &points {
         let eval_ps = (cfg.period_ps as f64 * (1.0 - p.precharge_fraction)) as u64;

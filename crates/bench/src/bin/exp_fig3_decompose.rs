@@ -87,17 +87,17 @@ fn main() {
     let lib = Library::lib180();
     let sub = substitute(&nl, &lib).expect("substitution");
 
-    let placed = place(
+    let placed = secflow_bench::ok_or_exit(place(
         &sub.fat,
         &sub.fat_lib,
         &PlaceOptions {
             pitch: GridPitch::Fat,
             ..Default::default()
         },
-    );
+    ));
     let fat =
         route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default()).expect("fat routing");
-    let diff = decompose(&fat, &sub);
+    let diff = secflow_bench::ok_or_exit(decompose(&fat, &sub));
 
     println!("=== Fig. 3 reproduction: fat design (left) vs differential design (right) ===\n");
     println!(

@@ -41,11 +41,11 @@ fn main() {
     let sets = [
         (
             "reference",
-            collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed),
+            secflow_bench::ok_or_exit(collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed)),
         ),
         (
             "secure",
-            collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed),
+            secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed)),
         ),
     ];
 

@@ -36,11 +36,11 @@ fn main() {
     };
 
     eprintln!("simulating {n} encryptions under both power models...");
-    let set_g = collect_des_traces(&glitchy, &cfg, PAPER_KEY, n, seed);
-    let set_f = collect_des_traces(&glitch_free, &cfg, PAPER_KEY, n, seed);
+    let set_g = secflow_bench::ok_or_exit(collect_des_traces(&glitchy, &cfg, PAPER_KEY, n, seed));
+    let set_f = secflow_bench::ok_or_exit(collect_des_traces(&glitch_free, &cfg, PAPER_KEY, n, seed));
 
-    let e_g = EnergyStats::of(&set_g.energies, 1);
-    let e_f = EnergyStats::of(&set_f.energies, 1);
+    let e_g = secflow_bench::analysis_or_exit(EnergyStats::try_of(&set_g.energies, 1));
+    let e_f = secflow_bench::analysis_or_exit(EnergyStats::try_of(&set_f.energies, 1));
     header_cols(
         "E15: glitch contribution in the reference design",
         "with glitches",

@@ -37,14 +37,14 @@ fn main() {
     let pair_list: Vec<_> = sub.pairs.iter().map(|p| (p.t, p.f)).collect();
 
     eprintln!("routing the differential netlist naively (ablation)...");
-    let naive_placed = place(
+    let naive_placed = secflow_bench::ok_or_exit(place(
         &sub.differential,
         &sub.diff_lib,
         &PlaceOptions {
             pitch: GridPitch::Normal,
             ..Default::default()
         },
-    );
+    ));
     let naive_routed = route(
         &sub.differential,
         &sub.diff_lib,
@@ -71,7 +71,7 @@ fn main() {
     // E13: the paper's §2.2 hardening options — shields or wider pair
     // spacing ("the tradeoff is an increase in silicon area").
     let styled = |style: DecomposeStyle| {
-        let d = decompose_styled(&imps.secure.fat_routed, sub, style);
+        let d = secflow_bench::ok_or_exit(decompose_styled(&imps.secure.fat_routed, sub, style));
         let par = extract(&d, &sub.differential, &tech);
         summarize(&par)
     };
@@ -111,7 +111,7 @@ fn main() {
     eprintln!("\nsimulating {n} encryptions against both layouts...");
     let cfg = paper_sim_config();
     let step = (n / 20).max(10);
-    let paper_set = collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed);
+    let paper_set = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed));
     let naive_target = DesTarget {
         netlist: &sub.differential,
         lib: &sub.diff_lib,
@@ -119,13 +119,13 @@ fn main() {
         wddl_inputs: Some(&sub.input_pairs),
         glitch_free: false,
     };
-    let naive_set = collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed);
+    let naive_set = secflow_bench::ok_or_exit(collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed));
 
     let paper_scan = mtd_scan(&paper_set.traces, 64, PAPER_KEY, step, paper_set.selector());
     let naive_scan = mtd_scan(&naive_set.traces, 64, PAPER_KEY, step, naive_set.selector());
 
-    let paper_stats = EnergyStats::of(&paper_set.energies, 1);
-    let naive_stats = EnergyStats::of(&naive_set.energies, 1);
+    let paper_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&paper_set.energies, 1));
+    let naive_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&naive_set.energies, 1));
     header_cols(
         "power-signature quality (energy per encryption)",
         "paper flow",

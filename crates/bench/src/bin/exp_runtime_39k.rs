@@ -106,7 +106,7 @@ fn main() {
 
     eprintln!("placing the fat design (coarse effort)...");
     let t = Instant::now();
-    let placed = place(
+    let placed = secflow_bench::ok_or_exit(place(
         &sub.fat,
         &sub.fat_lib,
         &PlaceOptions {
@@ -114,7 +114,7 @@ fn main() {
             pitch: GridPitch::Fat,
             ..Default::default()
         },
-    );
+    ));
     let place_s = t.elapsed().as_secs_f64();
     println!(
         "fat placement: {place_s:.2} s ({} x {} fat units)",
@@ -133,7 +133,7 @@ fn main() {
 
     // --- The paper's second insertion: interconnect decomposition. ---
     let t = Instant::now();
-    let diff = decompose(&routed, &sub);
+    let diff = secflow_bench::ok_or_exit(decompose(&routed, &sub));
     let decompose_s = t.elapsed().as_secs_f64();
     println!(
         "interconnect decomposition: {decompose_s:.2} s  (paper: ~2 min on a 550 MHz SunFire)"

@@ -6,11 +6,49 @@ pub mod seed_engine;
 
 use secflow_cells::Library;
 use secflow_core::{
-    run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,
+    run_regular_flow, run_secure_flow, FlowError, FlowOptions, RegularFlowResult, SecureFlowResult,
 };
 use secflow_crypto::dpa_module::des_dpa_design;
 use secflow_dpa::harness::DesTarget;
 use secflow_sim::SimConfig;
+
+/// Exit code for failures in post-flow analysis (stats, attacks) that
+/// have no [`secflow_core::Stage`] of their own.
+pub const ANALYSIS_EXIT_CODE: i32 = 20;
+
+/// Reports a flow error as a structured single-line JSON object on
+/// stderr — `{"error":{"stage":...,"kind":...,"detail":...}}` — and
+/// exits with the originating stage's exit code (10–19).
+pub fn exit_with_flow_error(e: &FlowError) -> ! {
+    eprintln!("{}", e.to_json());
+    std::process::exit(e.exit_code());
+}
+
+/// Unwraps a stage result or exits with the structured stderr report;
+/// any stage error convertible to [`FlowError`] (placement, routing,
+/// simulation, ...) gets its stage's exit code.
+pub fn ok_or_exit<T, E: Into<FlowError>>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => exit_with_flow_error(&e.into()),
+    }
+}
+
+/// Unwraps a post-flow analysis result (energy statistics, attack
+/// bookkeeping) or exits with a structured stderr report under the
+/// `analysis` pseudo-stage and [`ANALYSIS_EXIT_CODE`].
+pub fn analysis_or_exit<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            let detail = format!("{e}").replace('\\', "\\\\").replace('"', "\\\"");
+            eprintln!(
+                "{{\"error\":{{\"stage\":\"analysis\",\"kind\":\"Analysis\",\"detail\":\"{detail}\"}}}}"
+            );
+            std::process::exit(ANALYSIS_EXIT_CODE);
+        }
+    }
+}
 
 /// Both implementations of the Fig. 4 DES module, fully placed,
 /// routed and extracted.
@@ -26,20 +64,27 @@ pub struct DesImplementations {
 /// Runs both flows on the DES DPA module with the paper's settings
 /// (aspect ratio 1, fill factor 80 %).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either flow fails — the experiment cannot proceed.
-pub fn build_des_implementations() -> DesImplementations {
+/// Returns the first stage's [`FlowError`] if either flow fails.
+pub fn try_build_des_implementations() -> Result<DesImplementations, FlowError> {
     let design = des_dpa_design();
     let lib = Library::lib180();
     let opts = FlowOptions::default();
-    let regular = run_regular_flow(&design, &lib, &opts).expect("regular flow");
-    let secure = run_secure_flow(&design, &lib, &opts).expect("secure flow");
-    DesImplementations {
+    let regular = run_regular_flow(&design, &lib, &opts)?;
+    let secure = run_secure_flow(&design, &lib, &opts)?;
+    Ok(DesImplementations {
         lib,
         regular,
         secure,
-    }
+    })
+}
+
+/// [`try_build_des_implementations`], reporting any flow failure as a
+/// structured stderr line and exiting with the stage's code — the
+/// entry point experiment binaries use.
+pub fn build_des_implementations() -> DesImplementations {
+    ok_or_exit(try_build_des_implementations())
 }
 
 impl DesImplementations {

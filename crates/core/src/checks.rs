@@ -32,6 +32,26 @@ pub enum RailCheckError {
         /// Index of the original primary output.
         index: usize,
     },
+    /// A netlist under check has a combinational cycle.
+    Cyclic {
+        /// Name of the cyclic netlist.
+        netlist: String,
+    },
+    /// A gate references a cell missing from the library under check.
+    UnknownCell {
+        /// Gate instance name.
+        gate: String,
+        /// Unresolved cell name.
+        cell: String,
+    },
+    /// The original and differential netlists disagree on register
+    /// count, so no rail correspondence exists.
+    RegisterCountMismatch {
+        /// Registers in the original netlist.
+        original: usize,
+        /// WDDL registers in the differential netlist.
+        differential: usize,
+    },
 }
 
 impl fmt::Display for RailCheckError {
@@ -45,6 +65,21 @@ impl fmt::Display for RailCheckError {
             }
             RailCheckError::OutputMismatch { index } => {
                 write!(f, "differential output {index} disagrees with the original")
+            }
+            RailCheckError::Cyclic { netlist } => {
+                write!(f, "netlist `{netlist}` has a combinational cycle")
+            }
+            RailCheckError::UnknownCell { gate, cell } => {
+                write!(f, "gate `{gate}` references unknown cell `{cell}`")
+            }
+            RailCheckError::RegisterCountMismatch {
+                original,
+                differential,
+            } => {
+                write!(
+                    f,
+                    "register count mismatch: {original} original vs {differential} WDDL"
+                )
             }
         }
     }
@@ -60,20 +95,23 @@ fn eval(
     lib: &Library,
     forced: &[(NetId, bool)],
     tie_override: Option<bool>,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, RailCheckError> {
     let mut values = vec![false; nl.net_count()];
     for &(n, v) in forced {
         values[n.index()] = v;
     }
-    let order = secflow_netlist::topo_order(nl).expect("acyclic netlist");
+    let order = secflow_netlist::topo_order(nl).ok_or_else(|| RailCheckError::Cyclic {
+        netlist: nl.name.clone(),
+    })?;
     for gid in order {
         let g = nl.gate(gid);
         if g.kind == GateKind::Seq {
             continue;
         }
-        let cell = lib
-            .by_name(&g.cell)
-            .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell));
+        let cell = lib.by_name(&g.cell).ok_or_else(|| RailCheckError::UnknownCell {
+            gate: g.name.clone(),
+            cell: g.cell.clone(),
+        })?;
         match cell.function() {
             CellFunction::Comb(tt) => {
                 let mut idx = 0u32;
@@ -90,7 +128,7 @@ fn eval(
             CellFunction::Dff | CellFunction::WddlDff => {}
         }
     }
-    values
+    Ok(values)
 }
 
 /// Verifies the pre-discharge wave: with every primary-input rail and
@@ -105,7 +143,7 @@ fn eval(
 /// stays high.
 pub fn verify_precharge_wave(sub: &Substitution) -> Result<(), RailCheckError> {
     let nl = &sub.differential;
-    let values = eval(nl, &sub.diff_lib, &[], Some(false));
+    let values = eval(nl, &sub.diff_lib, &[], Some(false))?;
     for id in nl.net_ids() {
         if values[id.index()] {
             return Err(RailCheckError::PrechargeLeak {
@@ -148,7 +186,12 @@ pub fn verify_rail_complementarity(
         .filter(|g| g.cell == WDDL_REGISTER)
         .map(|g| (g.inputs[0], g.inputs[1], g.outputs[0], g.outputs[1]))
         .collect();
-    assert_eq!(orig_regs.len(), diff_regs.len(), "register count mismatch");
+    if orig_regs.len() != diff_regs.len() {
+        return Err(RailCheckError::RegisterCountMismatch {
+            original: orig_regs.len(),
+            differential: diff_regs.len(),
+        });
+    }
 
     for _ in 0..rounds {
         // Random source assignment.
@@ -168,7 +211,7 @@ pub fn verify_rail_complementarity(
         for ((_, q), &v) in orig_regs.iter().zip(&reg_vals) {
             orig_forced.push((*q, v));
         }
-        let orig_values = eval(original, base_lib, &orig_forced, None);
+        let orig_values = eval(original, base_lib, &orig_forced, None)?;
 
         let mut diff_forced: Vec<(NetId, bool)> = Vec::new();
         for (&(t, f), &v) in sub.input_pairs.iter().zip(&pi_vals) {
@@ -179,7 +222,7 @@ pub fn verify_rail_complementarity(
             diff_forced.push((*qt, v));
             diff_forced.push((*qf, !v));
         }
-        let diff_values = eval(diff, &sub.diff_lib, &diff_forced, None);
+        let diff_values = eval(diff, &sub.diff_lib, &diff_forced, None)?;
 
         // Every rail pair complementary.
         for p in &sub.pairs {

@@ -11,11 +11,53 @@
 //! match.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use secflow_netlist::NetId;
 use secflow_pnr::{GridPitch, PlacedCell, PlacedDesign, Point, RoutedDesign, RoutedNet, Segment};
 
 use crate::substitute::Substitution;
+
+/// A failure of the interconnect decomposition stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// The input design was not routed on the fat grid.
+    NotFatPitch,
+    /// A routed fat net has no rail pair in the substitution.
+    MissingRailPair {
+        /// Name of the offending fat net.
+        net: String,
+    },
+    /// The placement does not cover every fat gate of the
+    /// substitution.
+    CellCountMismatch {
+        /// Cells in the placement.
+        placed: usize,
+        /// Gates in the fat netlist.
+        fat_gates: usize,
+    },
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::NotFatPitch => {
+                write!(f, "decomposition applies to fat-routed designs")
+            }
+            DecomposeError::MissingRailPair { net } => {
+                write!(f, "fat net `{net}` has no rail pair")
+            }
+            DecomposeError::CellCountMismatch { placed, fat_gates } => {
+                write!(
+                    f,
+                    "placement has {placed} cells but the fat netlist has {fat_gates} gates"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
 
 /// How the fat wires are decomposed — the paper's §2.2 security /
 /// area trade-off knobs.
@@ -55,33 +97,53 @@ impl DecomposeStyle {
 /// primitive gates, and the grid pitch returns to
 /// [`GridPitch::Normal`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `fat_routed` was not routed at [`GridPitch::Fat`], or
-/// routes a net that has no rail pair in `sub`.
-pub fn decompose(fat_routed: &RoutedDesign, sub: &Substitution) -> RoutedDesign {
+/// Returns [`DecomposeError`] if `fat_routed` was not routed at
+/// [`GridPitch::Fat`], or routes a net that has no rail pair in `sub`.
+pub fn decompose(
+    fat_routed: &RoutedDesign,
+    sub: &Substitution,
+) -> Result<RoutedDesign, DecomposeError> {
     decompose_styled(fat_routed, sub, DecomposeStyle::Dense)
 }
 
 /// Decomposes a routed fat design with an explicit geometry style.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`decompose`].
+/// Fails under the same conditions as [`decompose`].
 pub fn decompose_styled(
     fat_routed: &RoutedDesign,
     sub: &Substitution,
     style: DecomposeStyle,
-) -> RoutedDesign {
-    assert_eq!(
-        fat_routed.placed.pitch,
-        GridPitch::Fat,
-        "decomposition applies to fat-routed designs"
-    );
+) -> Result<RoutedDesign, DecomposeError> {
+    if fat_routed.placed.pitch != GridPitch::Fat {
+        return Err(DecomposeError::NotFatPitch);
+    }
     let pair_of: HashMap<NetId, (NetId, NetId)> =
         sub.pairs.iter().map(|p| (p.fat, (p.t, p.f))).collect();
 
     let fp = &fat_routed.placed;
+    if fp.cells.len() != sub.fat.gate_count() {
+        return Err(DecomposeError::CellCountMismatch {
+            placed: fp.cells.len(),
+            fat_gates: sub.fat.gate_count(),
+        });
+    }
+    // Every pad net must split into a rail pair below; check up front
+    // so a degenerate placement cannot panic the indexing.
+    for &(net, _) in fp.input_pads.iter().chain(fp.output_pads.iter()) {
+        if !pair_of.contains_key(&net) {
+            return Err(DecomposeError::MissingRailPair {
+                net: if net.index() < sub.fat.net_count() {
+                    sub.fat.net(net).name.clone()
+                } else {
+                    format!("{net}")
+                },
+            });
+        }
+    }
     let k = style.scale();
     let scale = |v: i32| v * k;
     let scale_point = |p: Point| Point::new(p.layer, scale(p.x), scale(p.y));
@@ -137,7 +199,15 @@ pub fn decompose_styled(
     for rn in &fat_routed.nets {
         let (t, f) = *pair_of
             .get(&rn.net)
-            .unwrap_or_else(|| panic!("fat net {} has no rail pair", rn.net));
+            .ok_or_else(|| DecomposeError::MissingRailPair {
+                // The routed net id may not even exist in the fat
+                // netlist; fall back to its raw id.
+                net: if rn.net.index() < sub.fat.net_count() {
+                    sub.fat.net(rn.net).name.clone()
+                } else {
+                    format!("{}", rn.net)
+                },
+            })?;
         let seg_t: Vec<Segment> = rn
             .segments
             .iter()
@@ -179,7 +249,7 @@ pub fn decompose_styled(
         });
     }
 
-    RoutedDesign { placed, nets }
+    Ok(RoutedDesign { placed, nets })
 }
 
 #[cfg(test)]
@@ -227,7 +297,7 @@ mod tests {
     #[test]
     fn rails_are_translated_copies() {
         let (sub, routed) = fixture();
-        let d = decompose(&routed, &sub);
+        let d = decompose(&routed, &sub).unwrap();
         assert_eq!(d.placed.pitch, GridPitch::Normal);
         assert_eq!(d.nets.len(), 2);
         let t = &d.nets[0];
@@ -247,7 +317,7 @@ mod tests {
     #[test]
     fn geometry_is_doubled() {
         let (sub, routed) = fixture();
-        let d = decompose(&routed, &sub);
+        let d = decompose(&routed, &sub).unwrap();
         let t = &d.nets[0];
         // Fat wire length 7 + 5 = 12 fat units -> 24 tracks.
         assert_eq!(t.wirelength(), 2 * routed.nets[0].wirelength());
@@ -258,25 +328,39 @@ mod tests {
     #[test]
     fn pads_split_into_rail_pads() {
         let (sub, routed) = fixture();
-        let d = decompose(&routed, &sub);
+        let d = decompose(&routed, &sub).unwrap();
         assert_eq!(d.placed.input_pads.len(), 2);
         let ys: Vec<i32> = d.placed.input_pads.iter().map(|&(_, y)| y).collect();
         assert_eq!(ys, vec![4, 5]);
     }
 
     #[test]
-    #[should_panic(expected = "fat-routed")]
     fn rejects_normal_pitch_input() {
         let (sub, mut routed) = fixture();
         routed.placed.pitch = GridPitch::Normal;
-        let _ = decompose(&routed, &sub);
+        assert_eq!(
+            decompose(&routed, &sub).unwrap_err(),
+            DecomposeError::NotFatPitch
+        );
+    }
+
+    #[test]
+    fn foreign_net_is_typed_error() {
+        let (sub, mut routed) = fixture();
+        // Route a net id that does not exist in the fat netlist at
+        // all — e.g. read from a corrupt DEF.
+        routed.nets[0].net = NetId(9999);
+        assert!(matches!(
+            decompose(&routed, &sub).unwrap_err(),
+            DecomposeError::MissingRailPair { .. }
+        ));
     }
 
     #[test]
     fn decomposed_pair_extracts_with_zero_mismatch() {
         // End-to-end: decomposition + extraction => matched caps.
         let (sub, routed) = fixture();
-        let d = decompose(&routed, &sub);
+        let d = decompose(&routed, &sub).unwrap();
         let tech = secflow_extract::Technology::default();
         let par = secflow_extract::extract(&d, &sub.differential, &tech);
         let pairs: Vec<(NetId, NetId)> = d.nets.chunks(2).map(|c| (c[0].net, c[1].net)).collect();

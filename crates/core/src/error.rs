@@ -1,0 +1,313 @@
+//! The flow-wide error taxonomy: every stage of the secure design
+//! flow reports failures as a typed [`FlowError`] carrying the
+//! [`Stage`] it came from, so one corrupt input fails its stage — with
+//! a structured, machine-readable report — instead of panicking the
+//! process.
+
+use std::fmt;
+
+use secflow_extract::ExtractError;
+use secflow_lec::LecError;
+use secflow_netlist::NetlistError;
+use secflow_pnr::{PlaceError, RouteError};
+use secflow_sim::SimError;
+use secflow_synth::MapError;
+
+use crate::checks::RailCheckError;
+use crate::decompose::DecomposeError;
+use crate::substitute::SubstituteError;
+
+/// The flow stage a [`FlowError`] originated from.
+///
+/// Each stage owns a distinct process exit code (10–19) so scripts can
+/// tell *where* a run failed without parsing the error text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Structural Verilog (or DEF) parsing.
+    Parse,
+    /// Synthesis / technology mapping.
+    Synth,
+    /// WDDL cell substitution.
+    Substitute,
+    /// Placement.
+    Place,
+    /// Routing.
+    Route,
+    /// Interconnect decomposition.
+    Decompose,
+    /// Parasitic extraction.
+    Extract,
+    /// Logic equivalence checking.
+    Lec,
+    /// WDDL rail invariant checks.
+    RailCheck,
+    /// Simulation / timing analysis.
+    Sim,
+}
+
+impl Stage {
+    /// Stable lowercase stage name used in structured error output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Synth => "synth",
+            Stage::Substitute => "substitute",
+            Stage::Place => "place",
+            Stage::Route => "route",
+            Stage::Decompose => "decompose",
+            Stage::Extract => "extract",
+            Stage::Lec => "lec",
+            Stage::RailCheck => "railcheck",
+            Stage::Sim => "sim",
+        }
+    }
+
+    /// Process exit code for a failure in this stage (10–19; 0 is
+    /// success and 1/2 stay reserved for usage errors).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Stage::Parse => 10,
+            Stage::Synth => 11,
+            Stage::Substitute => 12,
+            Stage::Place => 13,
+            Stage::Route => 14,
+            Stage::Decompose => 15,
+            Stage::Extract => 16,
+            Stage::Lec => 17,
+            Stage::RailCheck => 18,
+            Stage::Sim => 19,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failure in one of the flow stages.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Netlist parsing or validation failed.
+    Parse(NetlistError),
+    /// Technology mapping failed.
+    Map(MapError),
+    /// Cell substitution failed.
+    Substitute(SubstituteError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed.
+    Route(RouteError),
+    /// Interconnect decomposition failed.
+    Decompose(DecomposeError),
+    /// Parasitic extraction failed.
+    Extract(ExtractError),
+    /// The equivalence check could not run.
+    Lec(LecError),
+    /// A WDDL invariant was violated.
+    RailCheck(RailCheckError),
+    /// Simulation or timing analysis failed.
+    Sim(SimError),
+}
+
+impl FlowError {
+    /// The stage this error originated from.
+    pub fn stage(&self) -> Stage {
+        match self {
+            FlowError::Parse(_) => Stage::Parse,
+            FlowError::Map(_) => Stage::Synth,
+            FlowError::Substitute(_) => Stage::Substitute,
+            FlowError::Place(_) => Stage::Place,
+            FlowError::Route(_) => Stage::Route,
+            FlowError::Decompose(_) => Stage::Decompose,
+            FlowError::Extract(_) => Stage::Extract,
+            FlowError::Lec(_) => Stage::Lec,
+            FlowError::RailCheck(_) => Stage::RailCheck,
+            FlowError::Sim(_) => Stage::Sim,
+        }
+    }
+
+    /// The inner error's variant name (e.g. `UnknownCell`), taken from
+    /// its `Debug` representation.
+    pub fn kind(&self) -> String {
+        let repr = match self {
+            FlowError::Parse(e) => format!("{e:?}"),
+            FlowError::Map(e) => format!("{e:?}"),
+            FlowError::Substitute(e) => format!("{e:?}"),
+            FlowError::Place(e) => format!("{e:?}"),
+            FlowError::Route(e) => format!("{e:?}"),
+            FlowError::Decompose(e) => format!("{e:?}"),
+            FlowError::Extract(e) => format!("{e:?}"),
+            FlowError::Lec(e) => format!("{e:?}"),
+            FlowError::RailCheck(e) => format!("{e:?}"),
+            FlowError::Sim(e) => format!("{e:?}"),
+        };
+        repr.split(|c: char| c == ' ' || c == '(' || c == '{')
+            .next()
+            .unwrap_or("Unknown")
+            .to_string()
+    }
+
+    /// Process exit code: the originating stage's code.
+    pub fn exit_code(&self) -> i32 {
+        self.stage().exit_code()
+    }
+
+    /// Structured single-line JSON report,
+    /// `{"error":{"stage":...,"kind":...,"detail":...}}`, suitable for
+    /// stderr. Produced by hand — the workspace has no serde.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"error":{{"stage":"{}","kind":"{}","detail":"{}"}}}}"#,
+            self.stage().name(),
+            json_escape(&self.kind()),
+            json_escape(&self.to_string()),
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Parse(e) => write!(f, "parsing failed: {e}"),
+            FlowError::Map(e) => write!(f, "mapping failed: {e}"),
+            FlowError::Substitute(e) => write!(f, "substitution failed: {e}"),
+            FlowError::Place(e) => write!(f, "placement failed: {e}"),
+            FlowError::Route(e) => write!(f, "routing failed: {e}"),
+            FlowError::Decompose(e) => write!(f, "decomposition failed: {e}"),
+            FlowError::Extract(e) => write!(f, "extraction failed: {e}"),
+            FlowError::Lec(e) => write!(f, "equivalence check failed: {e}"),
+            FlowError::RailCheck(e) => write!(f, "WDDL invariant violated: {e}"),
+            FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Parse(e)
+    }
+}
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+impl From<SubstituteError> for FlowError {
+    fn from(e: SubstituteError) -> Self {
+        FlowError::Substitute(e)
+    }
+}
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Route(e)
+    }
+}
+impl From<DecomposeError> for FlowError {
+    fn from(e: DecomposeError) -> Self {
+        FlowError::Decompose(e)
+    }
+}
+impl From<ExtractError> for FlowError {
+    fn from(e: ExtractError) -> Self {
+        FlowError::Extract(e)
+    }
+}
+impl From<LecError> for FlowError {
+    fn from(e: LecError) -> Self {
+        FlowError::Lec(e)
+    }
+}
+impl From<RailCheckError> for FlowError {
+    fn from(e: RailCheckError) -> Self {
+        FlowError::RailCheck(e)
+    }
+}
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_exit_codes_are_distinct() {
+        let stages = [
+            Stage::Parse,
+            Stage::Synth,
+            Stage::Substitute,
+            Stage::Place,
+            Stage::Route,
+            Stage::Decompose,
+            Stage::Extract,
+            Stage::Lec,
+            Stage::RailCheck,
+            Stage::Sim,
+        ];
+        let mut codes: Vec<i32> = stages.iter().map(|s| s.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), stages.len());
+        assert!(codes.iter().all(|&c| (10..=19).contains(&c)));
+    }
+
+    #[test]
+    fn to_json_reports_stage_kind_detail() {
+        let e = FlowError::Place(PlaceError::UnknownCell {
+            gate: "g0".into(),
+            cell: "BOGUS".into(),
+        });
+        assert_eq!(e.stage(), Stage::Place);
+        assert_eq!(e.kind(), "UnknownCell");
+        assert_eq!(e.exit_code(), 13);
+        let j = e.to_json();
+        assert!(j.starts_with(r#"{"error":{"stage":"place","kind":"UnknownCell","#));
+        assert!(j.contains("BOGUS"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parse_errors_map_to_parse_stage() {
+        let e: FlowError = NetlistError::Parse {
+            line: 3,
+            message: "bad".into(),
+        }
+        .into();
+        assert_eq!(e.stage(), Stage::Parse);
+        assert_eq!(e.kind(), "Parse");
+        assert_eq!(e.exit_code(), 10);
+    }
+}

@@ -1,22 +1,22 @@
 //! Flow orchestration: the regular digital design flow and the secure
 //! digital design flow of Fig. 1, end to end.
 
-use std::fmt;
 use std::time::Instant;
 
 use secflow_cells::{Library, TRACK_UM};
-use secflow_extract::{extract, pair_mismatch, Parasitics, Technology};
-use secflow_lec::{check_equiv_random_with_parity, check_equiv_with_parity, LecError};
+use secflow_extract::{pair_mismatch, try_extract, Parasitics, Technology};
+use secflow_lec::{check_equiv_random_with_parity, check_equiv_with_parity};
 use secflow_netlist::{Netlist, NetlistStats};
 use secflow_pnr::{
     build_clock_tree, place_best_of, route, ClockOptions, ClockReport, GridPitch, PlaceOptions,
-    RouteError, RoutedDesign,
+    RoutedDesign,
 };
-use secflow_synth::{map_design, Design, MapError, MapOptions};
+use secflow_synth::{map_design, Design, MapOptions};
 
-use crate::checks::{verify_precharge_wave, verify_rail_complementarity, RailCheckError};
+use crate::checks::{verify_precharge_wave, verify_rail_complementarity};
 use crate::decompose::{decompose_styled, DecomposeStyle};
-use crate::substitute::{substitute, SubstituteError, Substitution};
+use crate::error::FlowError;
+use crate::substitute::{substitute, Substitution};
 
 /// Configuration shared by both flows.
 #[derive(Debug, Clone)]
@@ -65,61 +65,6 @@ impl Default for FlowOptions {
             verify: true,
             bdd_gate_limit: 1500,
         }
-    }
-}
-
-/// A failure in one of the flow stages.
-#[derive(Debug)]
-pub enum FlowError {
-    /// Technology mapping failed.
-    Map(MapError),
-    /// Cell substitution failed.
-    Substitute(SubstituteError),
-    /// Routing failed.
-    Route(RouteError),
-    /// The equivalence check could not run.
-    Lec(LecError),
-    /// A WDDL invariant was violated.
-    RailCheck(RailCheckError),
-}
-
-impl fmt::Display for FlowError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowError::Map(e) => write!(f, "mapping failed: {e}"),
-            FlowError::Substitute(e) => write!(f, "substitution failed: {e}"),
-            FlowError::Route(e) => write!(f, "routing failed: {e}"),
-            FlowError::Lec(e) => write!(f, "equivalence check failed: {e}"),
-            FlowError::RailCheck(e) => write!(f, "WDDL invariant violated: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for FlowError {}
-
-impl From<MapError> for FlowError {
-    fn from(e: MapError) -> Self {
-        FlowError::Map(e)
-    }
-}
-impl From<SubstituteError> for FlowError {
-    fn from(e: SubstituteError) -> Self {
-        FlowError::Substitute(e)
-    }
-}
-impl From<RouteError> for FlowError {
-    fn from(e: RouteError) -> Self {
-        FlowError::Route(e)
-    }
-}
-impl From<LecError> for FlowError {
-    fn from(e: LecError) -> Self {
-        FlowError::Lec(e)
-    }
-}
-impl From<RailCheckError> for FlowError {
-    fn from(e: RailCheckError) -> Self {
-        FlowError::RailCheck(e)
     }
 }
 
@@ -249,7 +194,7 @@ pub fn run_regular_backend(
             pitch: GridPitch::Normal,
         },
         opts.place_restarts,
-    );
+    )?;
     let place_ms = ms(t);
 
     let t = Instant::now();
@@ -257,10 +202,10 @@ pub fn run_regular_backend(
     let route_ms = ms(t);
 
     let t = Instant::now();
-    let parasitics = extract(&routed, &netlist, &opts.tech);
+    let parasitics = try_extract(&routed, &netlist, &opts.tech)?;
     let extract_ms = ms(t);
 
-    let timing = secflow_sim::sta::analyze(&netlist, lib, Some(&parasitics));
+    let timing = secflow_sim::sta::analyze(&netlist, lib, Some(&parasitics))?;
     let clock = build_clock_tree(&netlist, lib, &placed, &ClockOptions::default())
         .map(|t| t.report(&ClockOptions::default()));
     let report = FlowReport {
@@ -341,7 +286,7 @@ pub fn run_secure_backend(
             pitch: GridPitch::Fat,
         },
         opts.place_restarts,
-    );
+    )?;
     let place_ms = ms(t);
 
     let t = Instant::now();
@@ -354,11 +299,11 @@ pub fn run_secure_backend(
     let route_ms = ms(t);
 
     let t = Instant::now();
-    let decomposed = decompose_styled(&fat_routed, &substitution, opts.decompose_style);
+    let decomposed = decompose_styled(&fat_routed, &substitution, opts.decompose_style)?;
     let decompose_ms = ms(t);
 
     let t = Instant::now();
-    let parasitics = extract(&decomposed, &substitution.differential, &opts.tech);
+    let parasitics = try_extract(&decomposed, &substitution.differential, &opts.tech)?;
     let extract_ms = ms(t);
 
     let t = Instant::now();
@@ -418,7 +363,7 @@ pub fn run_secure_backend(
         &substitution.differential,
         &substitution.diff_lib,
         Some(&parasitics),
-    );
+    )?;
     // Clock tree over the fat registers (the WDDL register pair is one
     // fat cell with a doubled clock-pin load).
     let clock_opts = ClockOptions {

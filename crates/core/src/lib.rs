@@ -44,15 +44,17 @@
 
 mod checks;
 mod decompose;
+mod error;
 mod flow;
 mod substitute;
 mod wddl;
 
 pub use checks::{verify_precharge_wave, verify_rail_complementarity, RailCheckError};
-pub use decompose::{decompose, decompose_styled, DecomposeStyle};
+pub use decompose::{decompose, decompose_styled, DecomposeError, DecomposeStyle};
+pub use error::{FlowError, Stage};
 pub use flow::{
-    run_regular_backend, run_regular_flow, run_secure_backend, run_secure_flow, FlowError,
-    FlowOptions, FlowReport, RegularFlowResult, SecureFlowResult,
+    run_regular_backend, run_regular_flow, run_secure_backend, run_secure_flow, FlowOptions,
+    FlowReport, RegularFlowResult, SecureFlowResult,
 };
 pub use substitute::{substitute, FatPair, SubstituteError, Substitution};
 pub use wddl::{WddlCompound, WddlLibrary, WDDL_DFFN_FAT, WDDL_DFF_FAT, WDDL_REGISTER};

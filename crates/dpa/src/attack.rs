@@ -100,20 +100,20 @@ impl KeySums {
     }
 }
 
-/// Best key and margin over a full set of guesses.
+/// Best key and margin over a full set of guesses (an empty guess set
+/// degenerates to key 0 with zero margin rather than panicking).
 fn finalize(guesses: Vec<KeyGuessResult>) -> DpaResult {
-    let best = guesses
+    let (best_key, best_peak) = guesses
         .iter()
         .max_by(|a, b| a.peak.total_cmp(&b.peak))
-        .expect("at least one key guess");
-    let best_key = best.key;
+        .map_or((0, 0.0), |g| (g.key, g.peak));
     let second = guesses
         .iter()
         .filter(|g| g.key != best_key)
         .map(|g| g.peak)
         .fold(0.0f64, f64::max);
     let margin = if second > 0.0 {
-        best.peak / second
+        best_peak / second
     } else {
         f64::INFINITY
     };

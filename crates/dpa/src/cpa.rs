@@ -111,13 +111,13 @@ impl KeySums {
     }
 }
 
-/// Best key and margin over a full set of guesses.
+/// Best key and margin over a full set of guesses (an empty guess set
+/// degenerates to key 0 with zero margin rather than panicking).
 fn finalize(guesses: Vec<CpaKeyResult>) -> CpaResult {
-    let best = guesses
+    let (best_key, best_corr) = guesses
         .iter()
         .max_by(|a, b| a.peak_corr.total_cmp(&b.peak_corr))
-        .expect("at least one key");
-    let (best_key, best_corr) = (best.key, best.peak_corr);
+        .map_or((0, 0.0), |g| (g.key, g.peak_corr));
     let second = guesses
         .iter()
         .filter(|g| g.key != best_key)

@@ -10,7 +10,7 @@
 use secflow_cells::Library;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
-use secflow_sim::{simulate_wddl, CompiledSim, EngineScratch, LoadModel, SimConfig, SimResult};
+use secflow_sim::{simulate_wddl, CompiledSim, EngineScratch, LoadModel, SimConfig, SimError, SimResult};
 
 /// One point of a clock-glitch sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,11 @@ pub struct GlitchPoint {
 ///
 /// `vectors` are logical input values per cycle (see
 /// [`simulate_wddl`]).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the netlist is cyclic or references cells
+/// missing from `lib`.
 pub fn glitch_sweep(
     nl: &Netlist,
     lib: &Library,
@@ -41,25 +46,23 @@ pub fn glitch_sweep(
     input_pairs: &[(NetId, NetId)],
     vectors: &[Vec<bool>],
     fractions: &[f64],
-) -> Vec<GlitchPoint> {
-    let nominal = simulate_wddl(nl, lib, parasitics, base_cfg, input_pairs, vectors)
-        .expect("WDDL netlist simulates");
+) -> Result<Vec<GlitchPoint>, SimError> {
+    let nominal = simulate_wddl(nl, lib, parasitics, base_cfg, input_pairs, vectors)?;
     // The load model is clock-independent; share it across the sweep
     // and recompile only the (cheap) per-fraction timing.
-    let load = LoadModel::build(nl, lib, parasitics);
+    let load = LoadModel::try_build(nl, lib, parasitics)?;
     let mut scratch = EngineScratch::new();
-    fractions
-        .iter()
-        .map(|&frac| {
-            let cfg = SimConfig {
-                precharge_fraction: frac,
-                ..base_cfg.clone()
-            };
-            let comp = CompiledSim::build(nl, lib, &load, &cfg).expect("WDDL netlist compiles");
-            comp.run_wddl(&mut scratch, input_pairs, vectors);
-            summarize(&nominal, &scratch.take_sim_result(), frac)
-        })
-        .collect()
+    let mut points = Vec::with_capacity(fractions.len());
+    for &frac in fractions {
+        let cfg = SimConfig {
+            precharge_fraction: frac,
+            ..base_cfg.clone()
+        };
+        let comp = CompiledSim::build(nl, lib, &load, &cfg)?;
+        comp.run_wddl(&mut scratch, input_pairs, vectors);
+        points.push(summarize(&nominal, &scratch.take_sim_result(), frac));
+    }
+    Ok(points)
 }
 
 fn summarize(nominal: &SimResult, run: &SimResult, frac: f64) -> GlitchPoint {
@@ -153,7 +156,7 @@ mod tests {
             ..Default::default()
         };
         let vectors = vec![vec![true, true]; 4];
-        let pts = glitch_sweep(&nl, &lib, None, &cfg, &pairs, &vectors, &[0.5]);
+        let pts = glitch_sweep(&nl, &lib, None, &cfg, &pairs, &vectors, &[0.5]).unwrap();
         assert_eq!(pts[0].alarms, 0);
         assert_eq!(pts[0].corrupted_outputs, 0);
         assert!(pts[0].faults_detected);
@@ -167,7 +170,7 @@ mod tests {
             ..Default::default()
         };
         let vectors = vec![vec![true, true]; 4];
-        let pts = glitch_sweep(&nl, &lib, None, &cfg, &pairs, &vectors, &[0.5, 0.9, 0.99]);
+        let pts = glitch_sweep(&nl, &lib, None, &cfg, &pairs, &vectors, &[0.5, 0.9, 0.99]).unwrap();
         // Squeezing evaluation to 1% must starve the 6-gate chain.
         let worst = &pts[2];
         assert!(worst.alarms > 0, "no alarm at 1% evaluation");

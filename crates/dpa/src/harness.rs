@@ -23,7 +23,7 @@ use secflow_crypto::dpa_module::{encrypt, selection};
 use secflow_exec::par_map_range_with;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
-use secflow_sim::{add_gaussian_noise, CompiledSim, EngineScratch, LoadModel, SimConfig};
+use secflow_sim::{add_gaussian_noise, CompiledSim, EngineScratch, LoadModel, SimConfig, SimError};
 
 /// A simulated implementation of the DES DPA module.
 #[derive(Debug, Clone, Copy)]
@@ -75,17 +75,23 @@ impl TraceSet {
 /// The implementation is verified online: every simulated ciphertext
 /// is compared against the software model of the datapath.
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the target netlist is cyclic or references
+/// cells missing from its library.
+///
 /// # Panics
 ///
-/// Panics if `key >= 64`, or if the simulated hardware disagrees with
-/// the reference model (a substitution or simulation bug).
+/// Panics if `key >= 64` (caller contract), or if the simulated
+/// hardware disagrees with the reference model (a substitution or
+/// simulation bug, not an input error).
 pub fn collect_des_traces(
     target: &DesTarget<'_>,
     cfg: &SimConfig,
     key: u8,
     n: usize,
     seed: u64,
-) -> TraceSet {
+) -> Result<TraceSet, SimError> {
     assert!(key < 64);
     // Plaintexts are drawn sequentially up front — cheap, and it keeps
     // the campaign identical to the serial harness for a given seed.
@@ -127,13 +133,12 @@ pub fn collect_des_traces(
     // order all happen here instead of per window. Windows are
     // simulated noise-free; measurement noise is applied per trace
     // below from its own (noise_seed, i) stream.
-    let load = LoadModel::build(target.netlist, target.lib, target.parasitics);
+    let load = LoadModel::try_build(target.netlist, target.lib, target.parasitics)?;
     let window_cfg = SimConfig {
         noise_sigma: 0.0,
         ..cfg.clone()
     };
-    let comp = CompiledSim::build(target.netlist, target.lib, &load, &window_cfg)
-        .expect("DES target compiles for simulation");
+    let comp = CompiledSim::build(target.netlist, target.lib, &load, &window_cfg)?;
 
     // One work item per encryption. The datapath state feeding the
     // leakage cycle of encryption i is fully determined by the two
@@ -194,12 +199,12 @@ pub fn collect_des_traces(
         energies.push(energy);
     }
 
-    TraceSet {
+    Ok(TraceSet {
         traces,
         ciphertexts,
         energies,
         samples_per_trace: spc,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -224,7 +229,7 @@ mod tests {
             samples_per_cycle: 100,
             ..Default::default()
         };
-        let set = collect_des_traces(&target, &cfg, 46, 20, 1);
+        let set = collect_des_traces(&target, &cfg, 46, 20, 1).unwrap();
         assert_eq!(set.traces.len(), 20);
         assert_eq!(set.ciphertexts.len(), 20);
         assert!(set.energies.iter().all(|&e| e > 0.0));
@@ -249,8 +254,8 @@ mod tests {
             samples_per_cycle: 50,
             ..Default::default()
         };
-        let a = collect_des_traces(&target, &cfg, 46, 10, 42);
-        let b = collect_des_traces(&target, &cfg, 46, 10, 42);
+        let a = collect_des_traces(&target, &cfg, 46, 10, 42).unwrap();
+        let b = collect_des_traces(&target, &cfg, 46, 10, 42).unwrap();
         assert_eq!(a.ciphertexts, b.ciphertexts);
         assert_eq!(a.traces, b.traces);
     }

@@ -1,6 +1,34 @@
 //! Energy statistics of §3: mean, normalized energy deviation and
 //! normalized standard deviation of the per-encryption energy.
 
+use std::fmt;
+
+/// A failure to compute energy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// Fewer than two energies remained after skipping warm-up cycles
+    /// (deviation figures need at least two samples).
+    TooFewCycles {
+        /// Energies available after skipping.
+        available: usize,
+        /// Leading entries skipped (or asked to be skipped).
+        skip: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::TooFewCycles { available, skip } => write!(
+                f,
+                "need at least two cycles after skipping {skip}, got {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// Summary statistics over per-cycle (per-encryption) energies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyStats {
@@ -12,7 +40,7 @@ pub struct EnergyStats {
     pub min: f64,
     /// Maximum energy.
     pub max: f64,
-    /// Standard deviation.
+    /// Standard deviation (population, see [`EnergyStats::try_of`]).
     pub std_dev: f64,
     /// Normalized energy deviation `(max − min) / max` — the paper
     /// reports 6.6 % (secure) vs 60 % (reference).
@@ -26,19 +54,30 @@ impl EnergyStats {
     /// Computes statistics over `energies`, ignoring any leading
     /// `skip` entries (pipeline warm-up cycles).
     ///
-    /// # Panics
+    /// The variance is the **population** variance (divide by `n`,
+    /// not `n − 1`): the trace set is the entire population of cycles
+    /// being characterized, not a sample of a larger one, matching
+    /// the paper's NED/NSD definitions.
     ///
-    /// Panics if fewer than two entries remain after skipping.
-    pub fn of(energies: &[f64], skip: usize) -> Self {
-        let data = &energies[skip..];
-        assert!(data.len() >= 2, "need at least two cycles");
+    /// # Errors
+    ///
+    /// Returns [`StatsError::TooFewCycles`] if fewer than two entries
+    /// remain after skipping (this includes `skip >= energies.len()`).
+    pub fn try_of(energies: &[f64], skip: usize) -> Result<Self, StatsError> {
+        let data = energies.get(skip..).unwrap_or(&[]);
+        if data.len() < 2 {
+            return Err(StatsError::TooFewCycles {
+                available: data.len(),
+                skip,
+            });
+        }
         let n = data.len();
         let mean = data.iter().sum::<f64>() / n as f64;
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let var = data.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64;
         let std_dev = var.sqrt();
-        EnergyStats {
+        Ok(EnergyStats {
             n,
             mean,
             min,
@@ -46,7 +85,7 @@ impl EnergyStats {
             std_dev,
             ned: if max > 0.0 { (max - min) / max } else { 0.0 },
             nsd: if mean > 0.0 { std_dev / mean } else { 0.0 },
-        }
+        })
     }
 }
 
@@ -69,7 +108,7 @@ mod tests {
 
     #[test]
     fn constant_energy_has_zero_deviation() {
-        let s = EnergyStats::of(&[5.0; 10], 0);
+        let s = EnergyStats::try_of(&[5.0; 10], 0).unwrap();
         assert_eq!(s.ned, 0.0);
         assert_eq!(s.nsd, 0.0);
         assert_eq!(s.mean, 5.0);
@@ -77,7 +116,7 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s = EnergyStats::of(&[4.0, 6.0], 0);
+        let s = EnergyStats::try_of(&[4.0, 6.0], 0).unwrap();
         assert_eq!(s.mean, 5.0);
         assert!((s.ned - (2.0 / 6.0)).abs() < 1e-12);
         assert!((s.std_dev - 1.0).abs() < 1e-12);
@@ -86,14 +125,31 @@ mod tests {
 
     #[test]
     fn skip_ignores_warmup() {
-        let s = EnergyStats::of(&[100.0, 5.0, 5.0, 5.0], 1);
+        let s = EnergyStats::try_of(&[100.0, 5.0, 5.0, 5.0], 1).unwrap();
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.n, 3);
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
-    fn too_few_cycles_panics() {
-        let _ = EnergyStats::of(&[1.0], 0);
+    fn too_few_cycles_is_typed_error() {
+        assert_eq!(
+            EnergyStats::try_of(&[1.0], 0),
+            Err(StatsError::TooFewCycles {
+                available: 1,
+                skip: 0
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_skip_is_typed_error() {
+        // skip beyond the slice must not panic on the range.
+        assert_eq!(
+            EnergyStats::try_of(&[1.0, 2.0], 7),
+            Err(StatsError::TooFewCycles {
+                available: 0,
+                skip: 7
+            })
+        );
     }
 }

@@ -30,7 +30,7 @@ fn window_traces_match_full_campaign() {
         wddl_inputs: None,
         glitch_free: false,
     };
-    let set = collect_des_traces(&target, &cfg, key, n, seed);
+    let set = collect_des_traces(&target, &cfg, key, n, seed).unwrap();
 
     // The original campaign: all n plaintexts from one sequential
     // stream, simulated as one run, plus 2 flush cycles.

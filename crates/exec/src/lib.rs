@@ -154,6 +154,38 @@ pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R
     par_map_range(items.len(), |i| f(i, &items[i]))
 }
 
+/// Fallible order-preserving parallel map over a slice.
+///
+/// Every item still runs (errors do not cancel in-flight work), then
+/// the error of the **lowest** failing index is returned — the same
+/// deterministic lowest-index rule the pool uses for panics, so the
+/// reported error is independent of the worker count. Panics remain
+/// the backstop for bugs; typed errors are the contract for bad input.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) `Err` produced by `f`.
+pub fn try_par_map<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    try_par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Fallible order-preserving parallel map over `0..n`; see
+/// [`try_par_map`] for the lowest-index error contract.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) `Err` produced by `f`.
+pub fn try_par_map_range<R: Send, E: Send>(
+    n: usize,
+    f: impl Fn(usize) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    // Order preservation makes `collect` stop at the lowest index.
+    par_map_range(n, f).into_iter().collect()
+}
+
 /// Order-preserving parallel map over the index range `0..n`.
 ///
 /// `out[i] == f(i)` for every `i`, regardless of the worker count.
@@ -337,6 +369,29 @@ mod tests {
         let items = vec!["a", "b", "c", "d"];
         let out = with_threads(4, || par_map_indexed(&items, |i, s| format!("{i}{s}")));
         assert_eq!(out, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error_at_every_thread_count() {
+        for t in [1, 2, 4, 8] {
+            let got = with_threads(t, || {
+                try_par_map_range(100, |i| {
+                    if i % 7 == 3 {
+                        Err(i)
+                    } else {
+                        Ok(i * 2)
+                    }
+                })
+            });
+            assert_eq!(got, Err(3), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn try_map_collects_all_ok_values() {
+        let items: Vec<u64> = (0..50).collect();
+        let got = with_threads(4, || try_par_map(&items, |&x| Ok::<u64, ()>(x + 1)));
+        assert_eq!(got, Ok((1..=50).collect::<Vec<u64>>()));
     }
 
     #[test]

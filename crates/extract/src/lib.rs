@@ -119,6 +119,92 @@ impl Parasitics {
 /// orientation.
 type Span = (NetId, i32, i32, i32);
 
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// A technology constant is NaN, infinite or negative.
+    BadTechnology {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A routed net's id does not exist in the netlist.
+    UnknownNet {
+        /// The out-of-range net index.
+        index: usize,
+        /// Number of nets in the netlist.
+        net_count: usize,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::BadTechnology { param, value } => {
+                write!(f, "technology parameter `{param}` has invalid value {value}")
+            }
+            ExtractError::UnknownNet { index, net_count } => {
+                write!(
+                    f,
+                    "routed net index {index} out of range (netlist has {net_count} nets)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl Technology {
+    /// Validates that every constant is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::BadTechnology`] naming the first bad
+    /// parameter.
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        let params: [(&'static str, f64); 5] = [
+            ("r_ohm_per_track", self.r_ohm_per_track),
+            ("c_ground_ff_per_track", self.c_ground_ff_per_track),
+            ("c_coupling_ff_per_track", self.c_coupling_ff_per_track),
+            ("r_via_ohm", self.r_via_ohm),
+            ("c_via_ff", self.c_via_ff),
+        ];
+        for (param, value) in params {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ExtractError::BadTechnology { param, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating wrapper around [`extract`]: rejects NaN/negative
+/// technology constants and routed nets that do not exist in `nl`
+/// before running the extraction itself.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] on a bad technology parameter or a routed
+/// net id out of range.
+pub fn try_extract(
+    design: &RoutedDesign,
+    nl: &Netlist,
+    tech: &Technology,
+) -> Result<Parasitics, ExtractError> {
+    tech.validate()?;
+    for rn in &design.nets {
+        if rn.net.index() >= nl.net_count() {
+            return Err(ExtractError::UnknownNet {
+                index: rn.net.index(),
+                net_count: nl.net_count(),
+            });
+        }
+    }
+    Ok(extract(design, nl, tech))
+}
+
 /// Extracts parasitics from a routed design.
 ///
 /// Lengths are converted to physical tracks using the design's
@@ -534,6 +620,75 @@ mod tests {
             couplings: vec![(NetId(7), 0.5), (NetId(9), 0.25)],
         };
         assert!((p.total_cap_ff() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_extract_rejects_nan_technology() {
+        let nl = netlist_with_nets(1);
+        let d = design_with(&nl, vec![], GridPitch::Normal);
+        let tech = Technology {
+            c_ground_ff_per_track: f64::NAN,
+            ..Technology::default()
+        };
+        let err = try_extract(&d, &nl, &tech).unwrap_err();
+        assert!(matches!(
+            err,
+            ExtractError::BadTechnology {
+                param: "c_ground_ff_per_track",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_extract_rejects_negative_technology() {
+        let nl = netlist_with_nets(1);
+        let d = design_with(&nl, vec![], GridPitch::Normal);
+        let tech = Technology {
+            r_via_ohm: -2.0,
+            ..Technology::default()
+        };
+        let err = try_extract(&d, &nl, &tech).unwrap_err();
+        assert!(matches!(
+            err,
+            ExtractError::BadTechnology {
+                param: "r_via_ohm",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_extract_rejects_foreign_net_id() {
+        let nl = netlist_with_nets(1);
+        let foreign = NetId(99);
+        let d = design_with(
+            &nl,
+            vec![RoutedNet {
+                net: foreign,
+                segments: vec![hseg(2, 0, 5)],
+            }],
+            GridPitch::Normal,
+        );
+        let err = try_extract(&d, &nl, &Technology::default()).unwrap_err();
+        assert!(matches!(err, ExtractError::UnknownNet { index: 99, .. }));
+    }
+
+    #[test]
+    fn try_extract_matches_extract_on_valid_input() {
+        let nl = netlist_with_nets(2);
+        let n0 = nl.net_by_name("n0").unwrap();
+        let d = design_with(
+            &nl,
+            vec![RoutedNet {
+                net: n0,
+                segments: vec![hseg(2, 0, 8)],
+            }],
+            GridPitch::Normal,
+        );
+        let a = try_extract(&d, &nl, &Technology::default()).unwrap();
+        let b = extract(&d, &nl, &Technology::default());
+        assert_eq!(a.nets, b.nets);
     }
 }
 

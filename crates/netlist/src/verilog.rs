@@ -20,7 +20,7 @@
 //! Y2, ...`) and sequential outputs are `Q` (then `Q1, ...`).
 
 use crate::error::NetlistError;
-use crate::netlist::{GateKind, Netlist};
+use crate::netlist::{GateKind, NetId, Netlist};
 
 const INPUT_NAMES: [&str; 8] = ["A", "B", "C", "D", "E", "F", "G", "H"];
 
@@ -106,9 +106,17 @@ pub fn write_verilog(nl: &Netlist) -> String {
 /// sequential; everything else is combinational (tie cells are
 /// recognized by the names `TIELO`/`TIEHI`).
 ///
+/// The parsed netlist is [`Netlist::validate`]d before it is returned,
+/// so a successful parse never yields a partially wired module
+/// (truncated files surface as missing drivers or an unterminated
+/// statement, not as a silently smaller netlist).
+///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] on malformed input.
+/// Returns [`NetlistError::Parse`] on malformed input (including
+/// duplicate net declarations and doubly driven nets), or the
+/// underlying [`NetlistError`] when the completed netlist fails
+/// validation.
 pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistError> {
     let mut nl = Netlist::new("parsed");
     let mut outputs: Vec<String> = Vec::new();
@@ -120,6 +128,7 @@ pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistE
     let mut statements: Vec<(usize, String)> = Vec::new();
     let mut pending = String::new();
     let mut pending_line = 0usize;
+    let mut saw_endmodule = false;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.split("//").next().unwrap_or("").trim();
         if line.is_empty() {
@@ -135,6 +144,15 @@ pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistE
             pending.clear();
         }
     }
+    if !pending.trim().is_empty() {
+        return Err(NetlistError::Parse {
+            line: pending_line,
+            message: format!(
+                "unterminated statement `{}` (truncated file?)",
+                pending.trim()
+            ),
+        });
+    }
 
     for (ln, stmt) in &statements {
         let stmt = stmt.trim_end_matches(';').trim();
@@ -143,20 +161,53 @@ pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistE
             nl.name = name.to_string();
         } else if let Some(rest) = stmt.strip_prefix("input ") {
             for n in rest.split(',') {
-                nl.add_input(n.trim());
+                let n = n.trim();
+                if n.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: "empty input name".into(),
+                    });
+                }
+                if nl.net_by_name(n).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: format!("duplicate declaration of net `{n}`"),
+                    });
+                }
+                nl.add_input(n);
             }
         } else if let Some(rest) = stmt.strip_prefix("output ") {
             for n in rest.split(',') {
-                outputs.push(n.trim().to_string());
+                let n = n.trim();
+                if n.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: "empty output name".into(),
+                    });
+                }
+                if outputs.iter().any(|o| o == n) || nl.net_by_name(n).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: format!("duplicate declaration of net `{n}`"),
+                    });
+                }
+                outputs.push(n.to_string());
             }
         } else if let Some(rest) = stmt.strip_prefix("wire ") {
             for n in rest.split(',') {
                 let n = n.trim();
+                if n.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *ln,
+                        message: "empty wire name".into(),
+                    });
+                }
                 if nl.net_by_name(n).is_none() {
                     nl.add_net(n);
                 }
             }
         } else if stmt == "endmodule" {
+            saw_endmodule = true;
             break;
         } else {
             // Instance: CELL name ( .PIN(net), ... )
@@ -193,13 +244,23 @@ pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistE
             instances.push((*ln, head[0].to_string(), head[1].to_string(), conns));
         }
     }
-
-    // Create output nets that were not also declared as wires/inputs.
-    for name in &outputs {
-        if nl.net_by_name(name).is_none() {
-            nl.add_net(name.clone());
-        }
+    if !saw_endmodule {
+        return Err(NetlistError::Parse {
+            line: statements.last().map_or(0, |(ln, _)| *ln),
+            message: "missing `endmodule` (truncated file?)".into(),
+        });
     }
+
+    // Create output nets that were not also declared as wires/inputs,
+    // capturing their ids here so net-id creation order stays: module
+    // inputs, wires, output nets, then instance-created nets.
+    let port_output_ids: Vec<_> = outputs
+        .iter()
+        .map(|name| match nl.net_by_name(name) {
+            Some(id) => id,
+            None => nl.add_net(name.clone()),
+        })
+        .collect();
 
     // Second pass: instances.
     for (ln, cell, inst, conns) in instances {
@@ -210,42 +271,44 @@ pub fn parse_verilog(text: &str, seq_cells: &[&str]) -> Result<Netlist, NetlistE
         } else {
             GateKind::Comb
         };
-        let mut ins: Vec<(usize, String)> = Vec::new();
-        let mut outs: Vec<(usize, String)> = Vec::new();
+        let mut ins: Vec<(usize, String, NetId)> = Vec::new();
+        let mut outs: Vec<(usize, String, NetId)> = Vec::new();
         for (pin, net) in conns {
-            if nl.net_by_name(&net).is_none() {
-                nl.add_net(net.clone());
-            }
+            let id = match nl.net_by_name(&net) {
+                Some(id) => id,
+                None => nl.add_net(net.clone()),
+            };
             let (is_out, idx) = classify_pin(&pin, kind).ok_or(NetlistError::Parse {
                 line: ln,
                 message: format!("unknown pin name `{pin}`"),
             })?;
             if is_out {
-                outs.push((idx, net));
+                outs.push((idx, net, id));
             } else {
-                ins.push((idx, net));
+                ins.push((idx, net, id));
             }
         }
         ins.sort();
         outs.sort();
-        let input_ids = ins
-            .into_iter()
-            .map(|(_, n)| nl.net_by_name(&n).expect("net created above"))
-            .collect();
-        let output_ids = outs
-            .into_iter()
-            .map(|(_, n)| nl.net_by_name(&n).expect("net created above"))
-            .collect();
+        // `add_gate` asserts single drivers; turn violations into a
+        // parse error up front so a corrupt file cannot panic.
+        for (k, (_, net, id)) in outs.iter().enumerate() {
+            if nl.net(*id).driver.is_some() || outs[..k].iter().any(|(_, _, prev)| prev == id) {
+                return Err(NetlistError::Parse {
+                    line: ln,
+                    message: format!("net `{net}` already has a driver"),
+                });
+            }
+        }
+        let input_ids = ins.into_iter().map(|(_, _, id)| id).collect();
+        let output_ids = outs.into_iter().map(|(_, _, id)| id).collect();
         nl.add_gate(inst, cell, kind, input_ids, output_ids);
     }
 
-    let output_ids: Vec<_> = outputs
-        .iter()
-        .map(|n| nl.net_by_name(n).expect("output net created above"))
-        .collect();
-    for id in output_ids {
+    for id in port_output_ids {
         nl.mark_output(id);
     }
+    nl.validate()?;
     Ok(nl)
 }
 
@@ -359,6 +422,42 @@ mod tests {
         let nl = parse_verilog(text, &[]).unwrap();
         assert_eq!(nl.name, "m");
         assert_eq!(nl.gate_count(), 1);
+    }
+
+    #[test]
+    fn truncated_statement_is_parse_error() {
+        // The final instance statement is missing its terminator.
+        let bad = "module m (a, y);\n input a;\n output y;\n BUF u1 (.A(a), .Y(y)\n";
+        let err = parse_verilog(bad, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_endmodule_is_parse_error() {
+        let bad = "module m (a, y);\n input a;\n output y;\n BUF u1 (.A(a), .Y(y));\n";
+        let err = parse_verilog(bad, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_input_is_parse_error() {
+        let bad = "module m (a, a);\n input a, a;\nendmodule\n";
+        let err = parse_verilog(bad, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn doubly_driven_net_is_parse_error() {
+        let bad = "module m (a, y);\n input a;\n output y;\n BUF u1 (.A(a), .Y(y));\n BUF u2 (.A(a), .Y(y));\nendmodule\n";
+        let err = parse_verilog(bad, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 5, .. }), "{err}");
+    }
+
+    #[test]
+    fn undriven_output_fails_validation() {
+        let bad = "module m (a, y);\n input a;\n output y;\nendmodule\n";
+        let err = parse_verilog(bad, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::NoDriver { .. }), "{err}");
     }
 
     #[test]

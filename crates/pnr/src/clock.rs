@@ -160,17 +160,11 @@ fn build_rec(
         return buffers.len() - 1;
     }
     // Split along the dimension with the larger spread, at the median.
+    // `members` is non-empty here (len > max_fanout >= 0), so the
+    // min/max defaults never kick in.
     let spread = |f: fn(&ClockSink) -> i32| {
-        let lo = members
-            .iter()
-            .map(|&i| f(&sinks[i]))
-            .min()
-            .expect("non-empty");
-        let hi = members
-            .iter()
-            .map(|&i| f(&sinks[i]))
-            .max()
-            .expect("non-empty");
+        let lo = members.iter().map(|&i| f(&sinks[i])).min().unwrap_or(0);
+        let hi = members.iter().map(|&i| f(&sinks[i])).max().unwrap_or(0);
         hi - lo
     };
     if spread(|s| s.x) >= spread(|s| s.y) {

@@ -1,8 +1,7 @@
 //! Die sizing: rows and core width from total cell area, fill factor
 //! and aspect ratio.
 
-use secflow_cells::{Library, ROW_TRACKS};
-use secflow_netlist::Netlist;
+use secflow_cells::ROW_TRACKS;
 
 /// A core floorplan: standard cell rows of equal width.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,33 +13,12 @@ pub struct Floorplan {
 }
 
 impl Floorplan {
-    /// Sizes a floorplan for `nl` with the given `fill_factor`
-    /// (fraction of row area occupied by cells, the paper uses 0.8)
-    /// and `aspect_ratio` (width / height, the paper uses 1.0).
+    /// Sizes a floorplan for a given total cell width (in tracks).
     ///
     /// # Panics
     ///
-    /// Panics if `fill_factor` is not in `(0, 1]`, `aspect_ratio` is
-    /// not positive, or a gate references an unknown cell.
-    pub fn size_for(nl: &Netlist, lib: &Library, fill_factor: f64, aspect_ratio: f64) -> Self {
-        assert!(fill_factor > 0.0 && fill_factor <= 1.0);
-        assert!(aspect_ratio > 0.0);
-        let total_width: u64 = nl
-            .gates()
-            .iter()
-            .map(|g| {
-                u64::from(
-                    lib.by_name(&g.cell)
-                        .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell))
-                        .physical()
-                        .width_tracks,
-                )
-            })
-            .sum();
-        Self::size_for_width(total_width, fill_factor, aspect_ratio)
-    }
-
-    /// Sizes a floorplan for a given total cell width (in tracks).
+    /// Panics if `fill_factor` is not in `(0, 1]` or `aspect_ratio` is
+    /// not positive; [`crate::place`] validates both before calling.
     pub fn size_for_width(total_width_tracks: u64, fill_factor: f64, aspect_ratio: f64) -> Self {
         assert!(fill_factor > 0.0 && fill_factor <= 1.0);
         assert!(aspect_ratio > 0.0);

@@ -34,5 +34,5 @@ pub use clock::{
 pub use design::{parse_def, write_def, PlacedCell, PlacedDesign, RoutedDesign, RoutedNet};
 pub use floorplan::Floorplan;
 pub use grid::{is_horizontal, GridPitch, Point, RoutingGrid, Segment, LAYER_H, LAYER_V};
-pub use place::{place, place_best_of, PlaceOptions};
+pub use place::{place, place_best_of, PlaceError, PlaceOptions};
 pub use route::{route, RouteError, RouteOptions};

@@ -1,6 +1,8 @@
 //! Row-based placement: connectivity-ordered initial placement refined
 //! by simulated annealing on half-perimeter wirelength.
 
+use std::fmt;
+
 use secflow_rand::{RngExt, SeedableRng, StdRng};
 
 use secflow_cells::{Library, ROW_TRACKS};
@@ -9,6 +11,39 @@ use secflow_netlist::{GateId, NetId, Netlist};
 use crate::design::{PlacedCell, PlacedDesign};
 use crate::floorplan::Floorplan;
 use crate::grid::GridPitch;
+
+/// Placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// A gate references a cell that the library does not provide.
+    UnknownCell {
+        /// Instance name of the offending gate.
+        gate: String,
+        /// The unresolvable cell name.
+        cell: String,
+    },
+    /// Placement options are degenerate (fill factor outside `(0, 1]`
+    /// or non-positive aspect ratio).
+    InvalidOptions {
+        /// Human-readable description of the bad option.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::UnknownCell { gate, cell } => {
+                write!(f, "gate `{gate}` references unknown cell `{cell}`")
+            }
+            PlaceError::InvalidOptions { detail } => {
+                write!(f, "invalid placement options: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
 
 /// Placement configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +73,35 @@ impl Default for PlaceOptions {
     }
 }
 
+/// Resolves every gate's cell against `lib` once, returning the cell
+/// width per gate (indexed by [`GateId`]).
+fn gate_widths(nl: &Netlist, lib: &Library) -> Result<Vec<u32>, PlaceError> {
+    nl.gates()
+        .iter()
+        .map(|g| match lib.by_name(&g.cell) {
+            Some(cell) => Ok(cell.physical().width_tracks),
+            None => Err(PlaceError::UnknownCell {
+                gate: g.name.clone(),
+                cell: g.cell.clone(),
+            }),
+        })
+        .collect()
+}
+
+fn check_options(opts: &PlaceOptions) -> Result<(), PlaceError> {
+    if !(opts.fill_factor > 0.0 && opts.fill_factor <= 1.0) {
+        return Err(PlaceError::InvalidOptions {
+            detail: format!("fill factor {} not in (0, 1]", opts.fill_factor),
+        });
+    }
+    if !(opts.aspect_ratio > 0.0) {
+        return Err(PlaceError::InvalidOptions {
+            detail: format!("aspect ratio {} not positive", opts.aspect_ratio),
+        });
+    }
+    Ok(())
+}
+
 /// Per-row cell sequences plus derived x coordinates.
 struct RowState {
     rows: Vec<Vec<GateId>>,
@@ -46,15 +110,15 @@ struct RowState {
 }
 
 impl RowState {
-    fn repack(&self, nl: &Netlist, lib: &Library, out: &mut [PlacedCell]) {
+    fn repack(&self, gw: &[u32], out: &mut [PlacedCell]) {
         for r in 0..self.rows.len() {
-            self.repack_row(nl, lib, r, out);
+            self.repack_row(gw, r, out);
         }
     }
 
-    fn repack_row(&self, nl: &Netlist, lib: &Library, r: usize, out: &mut [PlacedCell]) {
+    fn repack_row(&self, gw: &[u32], r: usize, out: &mut [PlacedCell]) {
         let row = &self.rows[r];
-        let used: u32 = row.iter().map(|&g| cell_width(nl, lib, g)).sum();
+        let used: u32 = row.iter().map(|&g| gw[g.index()]).sum();
         let slack = self.cap.saturating_sub(used);
         let gap = if row.is_empty() {
             0
@@ -64,16 +128,9 @@ impl RowState {
         let mut x = gap as i32;
         for &g in row {
             out[g.index()] = PlacedCell { x, row: r as u32 };
-            x += cell_width(nl, lib, g) as i32 + gap as i32;
+            x += gw[g.index()] as i32 + gap as i32;
         }
     }
-}
-
-fn cell_width(nl: &Netlist, lib: &Library, g: GateId) -> u32 {
-    lib.by_name(&nl.gate(g).cell)
-        .unwrap_or_else(|| panic!("unknown cell `{}`", nl.gate(g).cell))
-        .physical()
-        .width_tracks
 }
 
 /// Places `nl` on a freshly sized floorplan.
@@ -83,11 +140,16 @@ fn cell_width(nl: &Netlist, lib: &Library, g: GateId) -> u32 {
 /// swaps and relocates cells to reduce total HPWL. Deterministic for a
 /// fixed seed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a gate references a cell missing from `lib`.
-pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
-    let mut fp = Floorplan::size_for(nl, lib, opts.fill_factor, opts.aspect_ratio);
+/// Returns [`PlaceError::UnknownCell`] if a gate references a cell
+/// missing from `lib`, or [`PlaceError::InvalidOptions`] on degenerate
+/// fill factor / aspect ratio.
+pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> Result<PlacedDesign, PlaceError> {
+    check_options(opts)?;
+    let gw = gate_widths(nl, lib)?;
+    let total_width: u64 = gw.iter().map(|&w| u64::from(w)).sum();
+    let mut fp = Floorplan::size_for_width(total_width, opts.fill_factor, opts.aspect_ratio);
     // Each die edge offers one pad slot per track except row centers;
     // grow the die until every primary input/output gets a pad.
     let n_pads = nl.inputs().len().max(nl.outputs().len()) as u32;
@@ -102,7 +164,7 @@ pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
     let cap = fp.width_tracks;
     let mut r = 0usize;
     for g in order {
-        let w = cell_width(nl, lib, g);
+        let w = gw[g.index()];
         let mut tries = 0;
         while widths[r] + w > cap && tries < rows.len() {
             r = (r + 1) % rows.len();
@@ -111,9 +173,13 @@ pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
         // If every row is nominally full, spill into the least-used
         // row (the floorplan has slack, so this stays rare).
         if widths[r] + w > cap {
-            r = (0..rows.len())
-                .min_by_key(|&i| widths[i])
-                .expect("rows exist");
+            let mut least = 0usize;
+            for i in 1..rows.len() {
+                if widths[i] < widths[least] {
+                    least = i;
+                }
+            }
+            r = least;
         }
         rows[r].push(g);
         widths[r] += w;
@@ -141,12 +207,12 @@ pub fn place(nl: &Netlist, lib: &Library, opts: &PlaceOptions) -> PlacedDesign {
         output_pads: spread(nl.outputs()),
     };
     let mut state = state;
-    state.repack(nl, lib, &mut design.cells);
+    state.repack(&gw, &mut design.cells);
 
     if opts.anneal_moves_per_gate > 0 && nl.gate_count() > 1 {
-        anneal(nl, lib, &mut state, &mut design, opts);
+        anneal(nl, lib, &gw, &mut state, &mut design, opts);
     }
-    design
+    Ok(design)
 }
 
 /// Nets incident to a gate (inputs + outputs).
@@ -162,6 +228,7 @@ fn gate_nets(nl: &Netlist, g: GateId) -> Vec<NetId> {
 fn anneal(
     nl: &Netlist,
     lib: &Library,
+    gw: &[u32],
     state: &mut RowState,
     design: &mut PlacedDesign,
     opts: &PlaceOptions,
@@ -189,7 +256,7 @@ fn anneal(
         }
         let i1 = rng.random_range(0..state.rows[r1].len());
         let g1 = state.rows[r1][i1];
-        let w1 = cell_width(nl, lib, g1);
+        let w1 = gw[g1.index()];
 
         // Either swap with another cell or relocate into another row.
         let r2 = rng.random_range(0..n_rows);
@@ -204,7 +271,7 @@ fn anneal(
         // Feasibility on row capacity.
         match swap_target {
             Some((_, g2)) if r1 != r2 => {
-                let w2 = cell_width(nl, lib, g2);
+                let w2 = gw[g2.index()];
                 if state.widths[r1] - w1 + w2 > state.cap || state.widths[r2] - w2 + w1 > state.cap
                 {
                     temp *= cooling;
@@ -232,19 +299,19 @@ fn anneal(
 
         // Apply the move.
         let undo = apply_move(state, r1, i1, r2, swap_target.map(|(i2, _)| i2));
-        state.repack_row(nl, lib, r1, &mut design.cells);
-        state.repack_row(nl, lib, r2, &mut design.cells);
+        state.repack_row(gw, r1, &mut design.cells);
+        state.repack_row(gw, r2, &mut design.cells);
         let after: i64 = nets.iter().map(|&n| design.net_hpwl(nl, lib, n)).sum();
 
         let delta = (after - before) as f64;
         let accept = delta <= 0.0 || rng.random_bool((-delta / temp.max(1e-9)).exp().min(1.0));
         if !accept {
             undo_move(state, undo);
-            state.repack_row(nl, lib, r1, &mut design.cells);
-            state.repack_row(nl, lib, r2, &mut design.cells);
+            state.repack_row(gw, r1, &mut design.cells);
+            state.repack_row(gw, r2, &mut design.cells);
         } else {
             // Keep width bookkeeping in sync.
-            recompute_widths(nl, lib, state);
+            recompute_widths(gw, state);
             total += after - before;
             if total < best {
                 best = total;
@@ -323,9 +390,9 @@ fn undo_move(state: &mut RowState, undo: Undo) {
     }
 }
 
-fn recompute_widths(nl: &Netlist, lib: &Library, state: &mut RowState) {
+fn recompute_widths(gw: &[u32], state: &mut RowState) {
     for (w, row) in state.widths.iter_mut().zip(&state.rows) {
-        *w = row.iter().map(|&g| cell_width(nl, lib, g)).sum();
+        *w = row.iter().map(|&g| gw[g.index()]).sum();
     }
 }
 
@@ -338,15 +405,16 @@ fn recompute_widths(nl: &Netlist, lib: &Library, state: &mut RowState) {
 /// thread count. `restarts <= 1` is exactly a single [`place`] call
 /// with `opts.seed` itself.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a gate references a cell missing from `lib`.
+/// Returns [`PlaceError`] if a gate references a cell missing from
+/// `lib` or the options are degenerate.
 pub fn place_best_of(
     nl: &Netlist,
     lib: &Library,
     opts: &PlaceOptions,
     restarts: usize,
-) -> PlacedDesign {
+) -> Result<PlacedDesign, PlaceError> {
     if restarts <= 1 {
         return place(nl, lib, opts);
     }
@@ -355,14 +423,22 @@ pub fn place_best_of(
             seed: secflow_rand::split_seed(opts.seed, r as u64),
             ..opts.clone()
         };
-        let placed = place(nl, lib, &restart_opts);
-        (placed.total_hpwl(nl, lib), placed)
+        place(nl, lib, &restart_opts).map(|placed| (placed.total_hpwl(nl, lib), placed))
     });
-    candidates
-        .into_iter()
-        .min_by_key(|c| c.0)
-        .map(|c| c.1)
-        .expect("restarts >= 2")
+    let mut best: Option<(i64, PlacedDesign)> = None;
+    for candidate in candidates {
+        let (hpwl, placed) = candidate?;
+        // Strict `<` keeps the lowest restart index on ties.
+        if best.as_ref().is_none_or(|(b, _)| hpwl < *b) {
+            best = Some((hpwl, placed));
+        }
+    }
+    match best {
+        Some((_, placed)) => Ok(placed),
+        // Unreachable for restarts >= 2; fall back to a single run
+        // rather than asserting.
+        None => place(nl, lib, opts),
+    }
 }
 
 #[cfg(test)]
@@ -388,11 +464,15 @@ mod tests {
         nl
     }
 
+    fn cell_width(nl: &Netlist, lib: &Library, g: GateId) -> u32 {
+        lib.by_name(&nl.gate(g).cell).unwrap().physical().width_tracks
+    }
+
     #[test]
     fn all_cells_inside_die() {
         let nl = chain_netlist(40);
         let lib = Library::lib180();
-        let d = place(&nl, &lib, &PlaceOptions::default());
+        let d = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         for gid in nl.gate_ids() {
             let c = d.cells[gid.index()];
             let w = cell_width(&nl, &lib, gid) as i32;
@@ -405,7 +485,7 @@ mod tests {
     fn no_overlaps_within_rows() {
         let nl = chain_netlist(60);
         let lib = Library::lib180();
-        let d = place(&nl, &lib, &PlaceOptions::default());
+        let d = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         // Group by row, sort by x, check non-overlap.
         let mut per_row: std::collections::HashMap<u32, Vec<(i32, i32)>> = Default::default();
         for gid in nl.gate_ids() {
@@ -432,8 +512,9 @@ mod tests {
                 anneal_moves_per_gate: 0,
                 ..Default::default()
             },
-        );
-        let annealed = place(&nl, &lib, &PlaceOptions::default());
+        )
+        .unwrap();
+        let annealed = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         assert!(
             annealed.total_hpwl(&nl, &lib) <= no_anneal.total_hpwl(&nl, &lib),
             "annealing made placement worse"
@@ -448,19 +529,20 @@ mod tests {
             anneal_moves_per_gate: 40,
             ..Default::default()
         };
-        let single = place(&nl, &lib, &opts);
-        let best = place_best_of(&nl, &lib, &opts, 4);
+        let single = place(&nl, &lib, &opts).unwrap();
+        let best = place_best_of(&nl, &lib, &opts, 4).unwrap();
         // The restart seeds differ from opts.seed, so "never loses" is
         // over the restart pool itself; also pin determinism across
         // thread counts.
-        let best2 = secflow_exec::with_threads(3, || place_best_of(&nl, &lib, &opts, 4));
+        let best2 =
+            secflow_exec::with_threads(3, || place_best_of(&nl, &lib, &opts, 4)).unwrap();
         assert_eq!(best.cells, best2.cells);
         assert!(
             best.total_hpwl(&nl, &lib)
                 <= single.total_hpwl(&nl, &lib).max(best.total_hpwl(&nl, &lib))
         );
         // restarts <= 1 is exactly place().
-        let one = place_best_of(&nl, &lib, &opts, 1);
+        let one = place_best_of(&nl, &lib, &opts, 1).unwrap();
         assert_eq!(one.cells, single.cells);
     }
 
@@ -468,8 +550,8 @@ mod tests {
     fn placement_is_deterministic() {
         let nl = chain_netlist(30);
         let lib = Library::lib180();
-        let a = place(&nl, &lib, &PlaceOptions::default());
-        let b = place(&nl, &lib, &PlaceOptions::default());
+        let a = place(&nl, &lib, &PlaceOptions::default()).unwrap();
+        let b = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         assert_eq!(a.cells, b.cells);
     }
 
@@ -485,7 +567,54 @@ mod tests {
                 anneal_moves_per_gate: 0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(d.pitch, GridPitch::Fat);
+    }
+
+    #[test]
+    fn unknown_cell_is_typed_error() {
+        let lib = Library::lib180();
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_gate("u1", "NO_SUCH_CELL", GateKind::Comb, vec![a], vec![y]);
+        nl.mark_output(y);
+        let err = place(&nl, &lib, &PlaceOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            PlaceError::UnknownCell {
+                gate: "u1".into(),
+                cell: "NO_SUCH_CELL".into()
+            }
+        );
+        let err = place_best_of(&nl, &lib, &PlaceOptions::default(), 3).unwrap_err();
+        assert!(matches!(err, PlaceError::UnknownCell { .. }));
+    }
+
+    #[test]
+    fn degenerate_options_are_typed_errors() {
+        let nl = chain_netlist(3);
+        let lib = Library::lib180();
+        let err = place(
+            &nl,
+            &lib,
+            &PlaceOptions {
+                fill_factor: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidOptions { .. }));
+        let err = place(
+            &nl,
+            &lib,
+            &PlaceOptions {
+                aspect_ratio: -1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidOptions { .. }));
     }
 }

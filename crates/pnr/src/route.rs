@@ -43,6 +43,36 @@ impl Default for RouteOptions {
 /// Routing failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RouteError {
+    /// A gate references a cell missing from the library, so its pin
+    /// locations cannot be resolved.
+    UnknownCell {
+        /// Instance name of the offending gate.
+        gate: String,
+        /// The unresolvable cell name.
+        cell: String,
+    },
+    /// A pin of the placed design falls outside the die (degenerate
+    /// placement).
+    PinOutOfBounds {
+        /// Name of the net whose pin is off-die.
+        net: String,
+        /// Pin x coordinate (grid units).
+        x: i32,
+        /// Pin y coordinate (grid units).
+        y: i32,
+    },
+    /// Two different nets have pins at the same grid location
+    /// (overlapping cells in a degenerate placement).
+    PinCollision {
+        /// First net at the location.
+        net_a: String,
+        /// Second net at the location.
+        net_b: String,
+        /// Collision x coordinate (grid units).
+        x: i32,
+        /// Collision y coordinate (grid units).
+        y: i32,
+    },
     /// A pin could not be reached at all (grid disconnected).
     Unreachable {
         /// Name of the failing net.
@@ -62,6 +92,15 @@ pub enum RouteError {
 impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RouteError::UnknownCell { gate, cell } => {
+                write!(f, "gate `{gate}` references unknown cell `{cell}`")
+            }
+            RouteError::PinOutOfBounds { net, x, y } => {
+                write!(f, "pin of net `{net}` at ({x},{y}) lies outside the die")
+            }
+            RouteError::PinCollision { net_a, net_b, x, y } => {
+                write!(f, "pins of nets `{net_a}` and `{net_b}` collide at ({x},{y})")
+            }
             RouteError::Unreachable { net } => write!(f, "net `{net}` has an unreachable pin"),
             RouteError::Congested {
                 congested_nodes,
@@ -148,8 +187,9 @@ impl Search {
 ///
 /// # Errors
 ///
-/// Returns [`RouteError`] if some pin is unreachable or congestion
-/// cannot be negotiated away within
+/// Returns [`RouteError`] if a gate's cell is missing from `lib`, the
+/// placement is degenerate (off-die or colliding pins), some pin is
+/// unreachable, or congestion cannot be negotiated away within
 /// [`RouteOptions::max_iterations`].
 pub fn route(
     nl: &Netlist,
@@ -157,26 +197,45 @@ pub fn route(
     placed: &PlacedDesign,
     opts: &RouteOptions,
 ) -> Result<RoutedDesign, RouteError> {
+    // Resolve every cell upfront so pin lookups below cannot fail.
+    for g in nl.gates() {
+        if lib.by_name(&g.cell).is_none() {
+            return Err(RouteError::UnknownCell {
+                gate: g.name.clone(),
+                cell: g.cell.clone(),
+            });
+        }
+    }
+
     let mut grid = RoutingGrid::new_with_layers(placed.width, placed.height, opts.layers);
     let mut search =
         Search::new(placed.width as usize * placed.height as usize * opts.layers as usize);
 
     // Reserve every pin's access points (layers 0 and 1) for its own
     // net: a foreign wire through a pin would make the pin
-    // permanently unreachable for its owner.
+    // permanently unreachable for its owner. Off-die or colliding pins
+    // mean the placement is degenerate and routing cannot start.
     let mut pin_owner: HashMap<Point, NetId> = HashMap::new();
     for net in nl.net_ids() {
         for (x, y) in placed.net_pins(nl, lib, net) {
+            if x < 0 || x >= placed.width || y < 0 || y >= placed.height {
+                return Err(RouteError::PinOutOfBounds {
+                    net: nl.net(net).name.clone(),
+                    x,
+                    y,
+                });
+            }
             for layer in [LAYER_H, LAYER_V] {
                 let p = Point::new(layer, x, y);
                 if let Some(&other) = pin_owner.get(&p) {
-                    assert_eq!(
-                        other,
-                        net,
-                        "pins of nets `{}` and `{}` collide at ({x},{y})",
-                        nl.net(other).name,
-                        nl.net(net).name
-                    );
+                    if other != net {
+                        return Err(RouteError::PinCollision {
+                            net_a: nl.net(other).name.clone(),
+                            net_b: nl.net(net).name.clone(),
+                            x,
+                            y,
+                        });
+                    }
                 }
                 pin_owner.insert(p, net);
             }
@@ -580,7 +639,7 @@ mod tests {
     fn routes_small_design() {
         let nl = small_netlist();
         let lib = Library::lib180();
-        let placed = place(&nl, &lib, &PlaceOptions::default());
+        let placed = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         let routed = route(&nl, &lib, &placed, &RouteOptions::default()).unwrap();
         assert!(!routed.nets.is_empty());
         check_connectivity(&nl, &lib, &routed);
@@ -592,7 +651,7 @@ mod tests {
     fn routing_is_deterministic() {
         let nl = small_netlist();
         let lib = Library::lib180();
-        let placed = place(&nl, &lib, &PlaceOptions::default());
+        let placed = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         let a = route(&nl, &lib, &placed, &RouteOptions::default()).unwrap();
         let b = route(&nl, &lib, &placed, &RouteOptions::default()).unwrap();
         assert_eq!(a.nets, b.nets);
@@ -613,7 +672,7 @@ mod tests {
             nl.mark_output(y);
         }
         let lib = Library::lib180();
-        let placed = place(&nl, &lib, &PlaceOptions::default());
+        let placed = place(&nl, &lib, &PlaceOptions::default()).unwrap();
         let routed = route(&nl, &lib, &placed, &RouteOptions::default()).unwrap();
         check_no_shorts(&routed);
         check_connectivity(&nl, &lib, &routed);

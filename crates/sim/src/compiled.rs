@@ -565,7 +565,7 @@ mod tests {
         nl.add_gate("g1", "INV", GateKind::Comb, vec![x], vec![y]);
         let lib = Library::lib180();
         let cfg = SimConfig::default();
-        let load = LoadModel::build(&nl, &lib, None);
+        let load = LoadModel::try_build(&nl, &lib, None).unwrap();
         let err = CompiledSim::build(&nl, &lib, &load, &cfg).unwrap_err();
         assert_eq!(
             err,
@@ -578,7 +578,7 @@ mod tests {
     #[test]
     fn scratch_reuse_is_byte_identical_to_fresh_scratch() {
         let (nl, lib, cfg) = and_fixture();
-        let load = LoadModel::build(&nl, &lib, None);
+        let load = LoadModel::try_build(&nl, &lib, None).unwrap();
         let comp = CompiledSim::build(&nl, &lib, &load, &cfg).unwrap();
         let vectors = vec![vec![true, true], vec![false, true], vec![true, true]];
 
@@ -609,7 +609,7 @@ mod tests {
     #[test]
     fn compiled_tables_mirror_netlist_structure() {
         let (nl, lib, cfg) = and_fixture();
-        let load = LoadModel::build(&nl, &lib, None);
+        let load = LoadModel::try_build(&nl, &lib, None).unwrap();
         let comp = CompiledSim::build(&nl, &lib, &load, &cfg).unwrap();
         assert_eq!(comp.n_gates, 1);
         assert_eq!(comp.n_nets, 3);

@@ -375,7 +375,7 @@ mod tests {
             samples_per_cycle: 40,
             ..Default::default()
         };
-        let load = LoadModel::build(&nl, &lib, None);
+        let load = LoadModel::try_build(&nl, &lib, None).unwrap();
         let comp = CompiledSim::build(&nl, &lib, &load, &cfg).unwrap();
         let mut scratch = EngineScratch::new();
         let windows = [

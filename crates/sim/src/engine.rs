@@ -386,7 +386,7 @@ mod tests {
     }
 
     fn compile(nl: &Netlist, lib: &Library, cfg: &SimConfig) -> CompiledSim {
-        let load = LoadModel::build(nl, lib, None);
+        let load = LoadModel::try_build(nl, lib, None).unwrap();
         CompiledSim::build(nl, lib, &load, cfg).expect("compiles")
     }
 

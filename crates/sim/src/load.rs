@@ -31,17 +31,6 @@ impl LoadModel {
     /// Builds the load model for `nl`, using extracted `parasitics`
     /// when available and a pre-layout wire-load estimate otherwise.
     ///
-    /// # Panics
-    ///
-    /// Panics if a gate references a cell missing from `lib`; use
-    /// [`LoadModel::try_build`] for a recoverable error.
-    pub fn build(nl: &Netlist, lib: &Library, parasitics: Option<&Parasitics>) -> Self {
-        Self::try_build(nl, lib, parasitics).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`LoadModel::build`], surfacing unresolved cells as
-    /// [`SimError::UnknownCell`] instead of panicking.
-    ///
     /// # Errors
     ///
     /// [`SimError::UnknownCell`] if a gate references a cell missing
@@ -122,7 +111,7 @@ mod tests {
         let y = nl.add_net("y");
         nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![x]);
         nl.add_gate("g1", "AND2", GateKind::Comb, vec![x, a], vec![y]);
-        let lm = LoadModel::build(&nl, &lib, None);
+        let lm = LoadModel::try_build(&nl, &lib, None).unwrap();
         let and2_cap = lib.by_name("AND2").unwrap().pin_cap_ff(0);
         let inv_cap = lib.by_name("INV").unwrap().pin_cap_ff(0);
         // `a` feeds INV.A and AND2.B.
@@ -137,7 +126,7 @@ mod tests {
         let lib = Library::lib180();
         let mut nl = Netlist::new("t");
         let spare = nl.add_net("spare");
-        let lm = LoadModel::build(&nl, &lib, None);
+        let lm = LoadModel::try_build(&nl, &lib, None).unwrap();
         assert_eq!(lm.c_eff_ff[spare.index()], 0.0);
         assert_eq!(lm.drive_kohm[spare.index()], 0.0);
     }

@@ -34,21 +34,30 @@ impl TimingReport {
 /// `nl`. Sources (primary inputs, register and tie outputs) start at
 /// time 0; every gate adds its loaded delay.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist is cyclic or references unknown cells.
-pub fn analyze(nl: &Netlist, lib: &Library, parasitics: Option<&Parasitics>) -> TimingReport {
-    let load = LoadModel::build(nl, lib, parasitics);
-    let order = secflow_netlist::topo_order(nl).expect("acyclic netlist");
+/// Returns [`crate::SimError`] if the netlist is cyclic or references
+/// unknown cells.
+pub fn analyze(
+    nl: &Netlist,
+    lib: &Library,
+    parasitics: Option<&Parasitics>,
+) -> Result<TimingReport, crate::SimError> {
+    let load = LoadModel::try_build(nl, lib, parasitics)?;
+    let order =
+        secflow_netlist::topo_order(nl).ok_or_else(|| crate::SimError::CombinationalCycle {
+            netlist: nl.name.clone(),
+        })?;
     let mut arrivals = vec![0.0f64; nl.net_count()];
     for gid in order {
         let g = nl.gate(gid);
         if g.kind != GateKind::Comb {
             continue;
         }
-        let cell = lib
-            .by_name(&g.cell)
-            .unwrap_or_else(|| panic!("unknown cell `{}`", g.cell));
+        let cell = lib.by_name(&g.cell).ok_or_else(|| crate::SimError::UnknownCell {
+            gate: g.name.clone(),
+            cell: g.cell.clone(),
+        })?;
         if !matches!(cell.function(), CellFunction::Comb(_)) {
             continue;
         }
@@ -83,11 +92,11 @@ pub fn analyze(nl: &Netlist, lib: &Library, parasitics: Option<&Parasitics>) -> 
         consider(o, &arrivals);
     }
 
-    TimingReport {
+    Ok(TimingReport {
         critical_path_ps: worst,
         critical_net: critical,
         arrivals_ps: arrivals,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -105,7 +114,7 @@ mod tests {
         nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![w]);
         nl.add_gate("g1", "INV", GateKind::Comb, vec![w], vec![y]);
         nl.mark_output(y);
-        let r = analyze(&nl, &lib, None);
+        let r = analyze(&nl, &lib, None).unwrap();
         assert!(r.critical_path_ps > 0.0);
         assert_eq!(r.critical_net, Some(y));
         // Two stages: strictly more than one stage's delay.
@@ -123,7 +132,7 @@ mod tests {
         let q = nl.add_net("q");
         nl.add_gate("g0", "BUF", GateKind::Comb, vec![a], vec![w]);
         nl.add_gate("r0", "DFF", GateKind::Seq, vec![w], vec![q]);
-        let r = analyze(&nl, &lib, None);
+        let r = analyze(&nl, &lib, None).unwrap();
         assert_eq!(r.critical_net, Some(w));
     }
 
@@ -136,10 +145,10 @@ mod tests {
         let y = nl.add_net("y");
         nl.add_gate("g0", "INV", GateKind::Comb, vec![a], vec![y]);
         nl.mark_output(y);
-        let fast = analyze(&nl, &lib, None);
+        let fast = analyze(&nl, &lib, None).unwrap();
         let mut nets = vec![NetParasitics::default(); nl.net_count()];
         nets[y.index()].c_ground_ff = 100.0;
-        let slow = analyze(&nl, &lib, Some(&Parasitics { nets }));
+        let slow = analyze(&nl, &lib, Some(&Parasitics { nets })).unwrap();
         assert!(slow.critical_path_ps > fast.critical_path_ps);
     }
 }

@@ -10,7 +10,12 @@
 //! receives a [`Gen`] and draws whatever structure it needs. Each case
 //! runs from its own deterministic sub-seed, so any failure is
 //! replayable from the seed printed in the panic message alone.
+//!
+//! * [`fault`] — seeded generators of corrupt flow artifacts
+//!   (truncated Verilog, unknown cells, combinational loops, bad
+//!   technology constants, swapped rails) for fault-injection tests.
 
+pub mod fault;
 pub mod timing;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &sub.input_pairs,
         &vectors,
         &[0.5, 0.75, 0.9, 0.97],
-    );
+    )
+    .expect("WDDL netlist simulates");
 
     println!(
         "{:>12} {:>8} {:>10} {:>9}",

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pitch: GridPitch::Fat,
             ..Default::default()
         },
-    );
+    )?;
     let fat = route(&sub.fat, &sub.fat_lib, &placed, &RouteOptions::default())?;
     println!(
         "fat routing: {} nets, {} fat units of wire, {} vias",
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fat.total_vias()
     );
 
-    let diff = decompose(&fat, &sub);
+    let diff = decompose(&fat, &sub)?;
     println!(
         "decomposed:  {} rails, {} tracks of wire, {} vias",
         diff.nets.len(),

@@ -58,7 +58,8 @@ fn main() {
         46,
         6,
         7,
-    );
+    )
+    .expect("single-ended campaign simulates");
     let wddl = collect_des_traces(
         &DesTarget {
             netlist: &sub.differential,
@@ -71,7 +72,8 @@ fn main() {
         46,
         6,
         7,
-    );
+    )
+    .expect("WDDL campaign simulates");
 
     let dir = Path::new("tests/golden");
     fs::create_dir_all(dir).expect("create tests/golden");

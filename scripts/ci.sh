@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: panic audit (library code vs allowlist) =="
+python3 scripts/panic_audit.py
+
 echo "== tier-1: release build (offline) =="
 cargo build --workspace --release --offline
 

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Panic-audit gate: no unwrap()/expect()/panic! in library code.
+
+Scans every library source file (crates/*/src and src/, excluding
+bin/ directories and #[cfg(test)] modules) for `.unwrap()`,
+`.expect(` and `panic!(` and fails if a site is not covered by
+scripts/panic_allowlist.txt.
+
+Allowlist format, one entry per line:
+
+    path-substring | line-substring | justification
+
+A finding is allowed when the entry's path-substring occurs in the
+file path and the line-substring occurs in the offending line. The
+gate also fails on *stale* entries that no longer match anything, so
+the allowlist can only shrink as panics are converted to typed
+errors.
+
+Deliberate contract panics (`assert!`/`assert_eq!` with documented
+`# Panics` sections) are out of scope: asserts state internal
+invariants, while unwrap/expect/panic! on input-dependent paths are
+exactly the crash class the typed FlowError layer removed.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PATTERN = re.compile(r"\.unwrap\(\)|\.expect\(|panic!\(")
+ALLOWLIST = ROOT / "scripts" / "panic_allowlist.txt"
+
+
+def library_sources():
+    for base in [ROOT / "src", *sorted((ROOT / "crates").glob("*/src"))]:
+        for path in sorted(base.rglob("*.rs")):
+            if "bin" in path.relative_to(base).parts:
+                continue
+            yield path
+
+
+def strip_test_modules(lines):
+    """Yields (lineno, line) for lines outside #[cfg(test)] items."""
+    in_test = False
+    entered = False  # whether the test item's first `{` was seen
+    depth = 0
+    pending_cfg = False
+    for no, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not in_test:
+            if stripped.startswith("#[cfg(test)]"):
+                pending_cfg = True
+                continue
+            if pending_cfg:
+                # The item the cfg applies to (a mod/fn/impl/use);
+                # skip until its braces balance out. A brace-less
+                # `...;` item ends on its own line.
+                pending_cfg = False
+                if "{" not in line and stripped.endswith(";"):
+                    continue
+                in_test = True
+                entered = "{" in line
+                depth = line.count("{") - line.count("}")
+                if entered and depth <= 0:
+                    in_test = False
+                continue
+            yield no, line
+        else:
+            if "{" in line:
+                entered = True
+            depth += line.count("{") - line.count("}")
+            if entered and depth <= 0:
+                in_test = False
+
+
+def parse_allowlist():
+    entries = []
+    if not ALLOWLIST.exists():
+        return entries
+    for raw in ALLOWLIST.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|", 2)]
+        if len(parts) != 3 or not all(parts):
+            sys.exit(f"panic-audit: malformed allowlist entry: {raw!r}")
+        entries.append({"path": parts[0], "line": parts[1], "reason": parts[2], "hits": 0})
+    return entries
+
+
+def main():
+    entries = parse_allowlist()
+    violations = []
+    for path in library_sources():
+        rel = str(path.relative_to(ROOT))
+        for no, line in strip_test_modules(path.read_text().splitlines()):
+            code = line.split("//")[0] if line.lstrip().startswith("//") else line
+            if not PATTERN.search(code):
+                continue
+            allowed = False
+            for e in entries:
+                if e["path"] in rel and e["line"] in line:
+                    e["hits"] += 1
+                    allowed = True
+                    break
+            if not allowed:
+                violations.append(f"{rel}:{no}: {line.strip()}")
+
+    ok = True
+    if violations:
+        ok = False
+        print("panic-audit: unallowlisted panic sites in library code:")
+        for v in violations:
+            print(f"  {v}")
+    for e in entries:
+        if e["hits"] == 0:
+            ok = False
+            print(
+                f"panic-audit: stale allowlist entry (matches nothing): "
+                f"{e['path']} | {e['line']}"
+            )
+    if not ok:
+        sys.exit(1)
+    print(f"panic-audit: OK ({len(entries)} allowlisted sites)")
+
+
+if __name__ == "__main__":
+    main()

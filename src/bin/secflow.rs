@@ -28,11 +28,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use secflow::cells::Library;
+use secflow::flow::FlowError;
 use secflow::flow::{
     run_regular_backend, run_secure_backend, DecomposeStyle, FlowOptions, FlowReport,
 };
 use secflow::netlist::{parse_verilog, write_verilog};
 use secflow::pnr::write_def;
+
+/// Reports a flow failure as a single structured JSON line on stderr
+/// (`{"error":{"stage":...,"kind":...,"detail":...}}`) and returns the
+/// failing stage's distinct exit code (10–19).
+fn fail(e: FlowError) -> ExitCode {
+    eprintln!("{}", e.to_json());
+    ExitCode::from(u8::try_from(e.exit_code()).unwrap_or(1))
+}
 
 struct Args {
     input: PathBuf,
@@ -169,14 +178,10 @@ fn main() -> ExitCode {
     };
     let netlist = match parse_verilog(&text, &lib.seq_cell_names()) {
         Ok(nl) => nl,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(FlowError::Parse(e)),
     };
     if let Err(e) = netlist.validate() {
-        eprintln!("error: input netlist invalid: {e}");
-        return ExitCode::FAILURE;
+        return fail(FlowError::Parse(e));
     }
     if let Err(e) = fs::create_dir_all(&args.out) {
         eprintln!("error: cannot create {}: {e}", args.out.display());
@@ -195,10 +200,7 @@ fn main() -> ExitCode {
     if args.secure {
         let result = match run_secure_backend(netlist, &lib, &args.opts, 0.0) {
             Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         };
         write("fat.v", &write_verilog(&result.substitution.fat));
         write("diff.v", &write_verilog(&result.substitution.differential));
@@ -224,10 +226,7 @@ fn main() -> ExitCode {
     } else {
         let result = match run_regular_backend(netlist, &lib, &args.opts, 0.0) {
             Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail(e),
         };
         write("layout.def", &write_def(&result.routed, &result.netlist));
         let report = render_report("regular", &result.report);

@@ -66,6 +66,7 @@ fn regular_traces(n: usize, seed: u64) -> TraceSet {
         n,
         seed,
     )
+    .expect("campaign simulates")
 }
 
 fn secure_traces(n: usize, seed: u64) -> TraceSet {
@@ -83,6 +84,7 @@ fn secure_traces(n: usize, seed: u64) -> TraceSet {
         n,
         seed,
     )
+    .expect("campaign simulates")
 }
 
 #[test]
@@ -90,8 +92,8 @@ fn energy_signature_and_leak_direction() {
     let reg_set = regular_traces(N_TRACES, SEED);
     let sec_set = secure_traces(N_TRACES, SEED);
 
-    let reg_stats = EnergyStats::of(&reg_set.energies, 1);
-    let sec_stats = EnergyStats::of(&sec_set.energies, 1);
+    let reg_stats = EnergyStats::try_of(&reg_set.energies, 1).unwrap();
+    let sec_stats = EnergyStats::try_of(&sec_set.energies, 1).unwrap();
 
     let reg_attack = dpa_attack(&reg_set.traces, 64, reg_set.selector());
     let sec_attack = dpa_attack(&sec_set.traces, 64, sec_set.selector());
@@ -155,8 +157,8 @@ fn trace_statistics_are_deterministic_for_a_fixed_seed() {
         assert_eq!(bits(ta), bits(tb));
     }
 
-    let sa = EnergyStats::of(&a.energies, 1);
-    let sb = EnergyStats::of(&b.energies, 1);
+    let sa = EnergyStats::try_of(&a.energies, 1).unwrap();
+    let sb = EnergyStats::try_of(&b.energies, 1).unwrap();
     assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
     assert_eq!(sa.nsd.to_bits(), sb.nsd.to_bits());
     assert_eq!(sa.ned.to_bits(), sb.ned.to_bits());

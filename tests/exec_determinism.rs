@@ -46,7 +46,7 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
         glitch_free: false,
     };
 
-    let campaign = || -> TraceSet { collect_des_traces(&target, &cfg, 46, 24, 9) };
+    let campaign = || -> TraceSet { collect_des_traces(&target, &cfg, 46, 24, 9).unwrap() };
     let reference = with_threads(1, campaign);
     let ref_attack = with_threads(1, || {
         dpa_attack(&reference.traces, 64, reference.selector())
@@ -107,7 +107,8 @@ fn extraction_is_identical_across_thread_counts() {
             anneal_moves_per_gate: 20,
             ..Default::default()
         },
-    );
+    )
+    .expect("place");
     let routed = route(&mapped, &lib, &placed, &RouteOptions::default()).expect("route");
     let tech = Technology::default();
 

@@ -57,7 +57,7 @@ fn check(golden: &str, target: &DesTarget<'_>) {
     };
     let expect = load_golden(golden);
     for threads in [1usize, 2, 8] {
-        let set = with_threads(threads, || collect_des_traces(target, &cfg, 46, 6, 7));
+        let set = with_threads(threads, || collect_des_traces(target, &cfg, 46, 6, 7).unwrap());
         assert_eq!(set.traces.len(), expect.len(), "{golden}: trace count");
         for (i, (energy_bits, trace_bits)) in expect.iter().enumerate() {
             assert_eq!(

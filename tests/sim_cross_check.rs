@@ -72,6 +72,7 @@ fn all_simulators_agree_with_the_model() {
 
     // 2. Zero-delay gate-level simulation of the mapped netlist.
     let func_out: Vec<(u8, u8)> = run_cycles(&nl, &lib, &vecs)
+        .unwrap()
         .iter()
         .map(|o| decode(o))
         .collect();
