@@ -25,7 +25,7 @@ use secflow_lec::check_equiv_with_parity;
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
 use secflow_sim::SimConfig;
 use secflow_synth::{map_design, MapOptions};
-use secflow_testkit::timing::{bench, time_median};
+use secflow_testkit::timing::{bench, time_median, Measurement};
 
 /// Median-of-K runs per measurement; small because the individual
 /// stages are long relative to timer noise.
@@ -339,6 +339,122 @@ fn bench_sim_kernel(filter: &str, smoke: bool) {
     }
 }
 
+/// Cost of the observability layer on the DPA trace campaign, in both
+/// of its states: disabled (the default NoopSink path — one relaxed
+/// atomic load per instrumentation point) and enabled (per-thread
+/// sinks recording). The disabled overhead cannot be measured
+/// differentially at runtime (the instrumentation is compiled in), so
+/// it is bounded from measurements: per-call disabled cost × the exact
+/// number of disabled-path checks the campaign executes (derived from
+/// an enabled run's own counters). Results go to
+/// `results/BENCH_obs_overhead.json`; the noop bound must stay < 1 %.
+fn bench_obs_overhead(filter: &str, smoke: bool) {
+    if !"obs_overhead".contains(filter) {
+        return;
+    }
+    use secflow_obs::{self as obs, Counter};
+
+    // (a) Per-call cost of the disabled path.
+    assert!(!obs::enabled(), "obs must be disabled for the baseline");
+    let iters: u64 = if smoke { 200_000 } else { 4_000_000 };
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        obs::add(black_box(Counter::SimWindows), black_box(1));
+    }
+    let add_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+    // (b) The campaign, with observability off and on.
+    let lib = Library::lib180();
+    let mapped = map_design(&des_dpa_design(), &lib, &MapOptions::default()).expect("map");
+    let cfg = SimConfig {
+        samples_per_cycle: 100,
+        ..Default::default()
+    };
+    let target = DesTarget {
+        netlist: &mapped,
+        lib: &lib,
+        parasitics: None,
+        wddl_inputs: None,
+        glitch_free: false,
+    };
+    let n = if smoke { 8 } else { 64 };
+    let k = if smoke { 1 } else { K };
+    // Pinned serial so the measured deltas are instrumentation cost,
+    // not scheduling noise.
+    let campaign = || {
+        secflow_exec::with_threads(1, || {
+            black_box(collect_des_traces(black_box(&target), &cfg, 46, n, 1).expect("campaign"));
+        });
+    };
+    // Interleaved A/B rounds: the disabled and enabled campaigns
+    // alternate within each round so clock-frequency and cache drift
+    // hit both arms equally (sequential block-of-K measurement showed
+    // ±20 % drift swamping the real delta on shared machines).
+    campaign(); // warm-up: page in code and data, fill caches
+    let mut windows = 0u64;
+    let mut regions = 0u64;
+    let mut dis_ns: Vec<u128> = Vec::with_capacity(k);
+    let mut en_ns: Vec<u128> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let t = std::time::Instant::now();
+        campaign();
+        dis_ns.push(t.elapsed().as_nanos());
+        let t = std::time::Instant::now();
+        let ((), report) = obs::capture(campaign);
+        en_ns.push(t.elapsed().as_nanos());
+        windows = report.counter(Counter::SimWindows);
+        regions = report.counter(Counter::ExecRegions);
+    }
+    let measurement = |name: &str, runs: &[u128]| {
+        let mut sorted = runs.to_vec();
+        sorted.sort_unstable();
+        Measurement {
+            name: name.to_string(),
+            runs_ns: runs.to_vec(),
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("k > 0"),
+        }
+    };
+    let disabled = measurement("obs_overhead/campaign_disabled", &dis_ns);
+    let enabled = measurement("obs_overhead/campaign_enabled", &en_ns);
+    println!("{}", disabled.json_line());
+    println!("{}", enabled.json_line());
+
+    // Disabled-path checks per campaign: one `enabled()` gate per
+    // window, a handful per exec region (region id, span, worker
+    // gate), and a fixed few per campaign (campaign span, trace
+    // counter). Bounded generously.
+    let noop_calls = windows + regions * 4 + 16;
+    let noop_pct = noop_calls as f64 * add_ns / disabled.median_ns as f64 * 100.0;
+    let enabled_pct =
+        (enabled.median_ns as f64 / disabled.median_ns as f64 - 1.0) * 100.0;
+    assert!(
+        noop_pct < 1.0,
+        "disabled observability must stay below 1% of campaign time \
+         (bound: {noop_pct:.4}%)"
+    );
+    let json = format!(
+        "{{\"bench\":\"obs_overhead\",\"threads\":1,\"n_encryptions\":{n},\
+         \"disabled_add_ns_per_op\":{add_ns:.3},\
+         \"campaign_disabled_median_ns\":{},\
+         \"campaign_enabled_median_ns\":{},\
+         \"noop_calls_per_campaign\":{noop_calls},\
+         \"noop_overhead_pct\":{noop_pct:.5},\
+         \"enabled_overhead_pct\":{enabled_pct:.3},\"k\":{k}}}",
+        disabled.median_ns, enabled.median_ns
+    );
+    println!("{json}");
+    if smoke {
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_obs_overhead.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench -- <substring>` runs only matching groups; the
     // harness also swallows libtest-style flags cargo may pass.
@@ -347,7 +463,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    const GROUPS: [&str; 8] = [
+    const GROUPS: [&str; 9] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
@@ -356,6 +472,7 @@ fn main() {
         "dpa_pipeline",
         "exec_speedup",
         "sim_kernel",
+        "obs_overhead",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
         eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
@@ -369,4 +486,5 @@ fn main() {
     bench_power_sim_and_attack(&filter);
     bench_exec_speedup(&filter);
     bench_sim_kernel(&filter, smoke);
+    bench_obs_overhead(&filter, smoke);
 }

@@ -17,10 +17,11 @@ use secflow_dpa::dfa::glitch_sweep;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
-    secflow_bench::emit_run_info("exp_dfa_glitch", threads);
+    let obs = secflow_bench::parse_obs(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let _run = secflow_bench::start_run("exp_dfa_glitch", threads, obs);
 
     eprintln!("building the secure implementation...");
     let imps = build_des_implementations();

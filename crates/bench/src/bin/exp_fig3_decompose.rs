@@ -82,7 +82,8 @@ fn render(design: &RoutedDesign, layer: u8, max_w: i32, max_h: i32) -> String {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
-    secflow_bench::emit_run_info("exp_fig3_decompose", threads);
+    let obs = secflow_bench::parse_obs(&mut args);
+    let _run = secflow_bench::start_run("exp_fig3_decompose", threads, obs);
     let nl = six_gate_design();
     let lib = Library::lib180();
     let sub = substitute(&nl, &lib).expect("substitution");

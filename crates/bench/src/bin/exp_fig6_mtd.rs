@@ -21,7 +21,7 @@ use secflow_dpa::harness::collect_des_traces;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
-    secflow_bench::emit_run_info("exp_fig6_mtd", threads);
+    let obs = secflow_bench::parse_obs(&mut args);
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let mut args = args.into_iter();
@@ -32,6 +32,7 @@ fn main() {
         .unwrap_or(default_n);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
     let step = (n / 40).max(10);
+    let _run = secflow_bench::start_run("exp_fig6_mtd", threads, obs);
 
     eprintln!("building both implementations through the flows...");
     let imps = build_des_implementations();

@@ -73,10 +73,11 @@ fn synthetic_routes(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
-    secflow_bench::emit_run_info("exp_runtime_39k", threads);
+    let obs = secflow_bench::parse_obs(&mut args);
     let mut args = args.into_iter();
     let target: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(72_000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let _run = secflow_bench::start_run("exp_runtime_39k", threads, obs);
 
     println!("=== E8: flow-insertion runtime at the paper's 39 K-gate scale ===");
     eprintln!("generating and mapping the synthetic design...");

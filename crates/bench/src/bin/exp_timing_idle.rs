@@ -20,10 +20,11 @@ use secflow_sim::{simulate_single_ended, simulate_wddl};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
-    secflow_bench::emit_run_info("exp_timing_idle", threads);
+    let obs = secflow_bench::parse_obs(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let _run = secflow_bench::start_run("exp_timing_idle", threads, obs);
 
     eprintln!("building both implementations through the flows...");
     let imps = build_des_implementations();

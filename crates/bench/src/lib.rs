@@ -41,10 +41,14 @@ pub fn analysis_or_exit<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
     match r {
         Ok(v) => v,
         Err(e) => {
-            let detail = format!("{e}").replace('\\', "\\\\").replace('"', "\\\"");
-            eprintln!(
-                "{{\"error\":{{\"stage\":\"analysis\",\"kind\":\"Analysis\",\"detail\":\"{detail}\"}}}}"
-            );
+            let mut inner = secflow_obs::json::Obj::new();
+            inner
+                .str("stage", "analysis")
+                .str("kind", "Analysis")
+                .str("detail", &format!("{e}"));
+            let mut outer = secflow_obs::json::Obj::new();
+            outer.raw("error", &inner.build());
+            eprintln!("{}", outer.build());
             std::process::exit(ANALYSIS_EXIT_CODE);
         }
     }
@@ -143,9 +147,92 @@ pub fn parse_threads(args: &mut Vec<String>) -> usize {
 
 /// Emits the experiment's run-info JSON line to **stderr** — stderr so
 /// experiment stdout stays byte-identical across thread counts (the
-/// determinism gate compares it).
+/// determinism gate compares it). Called only after *all* option
+/// parsing succeeded, so a usage error produces exactly one stderr
+/// line (its own) and no run-info line.
 pub fn emit_run_info(exp: &str, threads: usize) {
-    eprintln!("{{\"exp\":\"{exp}\",\"threads\":{threads}}}");
+    let mut obj = secflow_obs::json::Obj::new();
+    obj.str("exp", exp).u64("threads", threads as u64);
+    eprintln!("{}", obj.build());
+}
+
+/// Strips a `--obs PATH` flag from `args` and returns the metrics
+/// output path, falling back to a non-empty `SECFLOW_OBS` environment
+/// variable. Exits with status 2 if the flag is given without a path.
+/// Like [`parse_threads`], leaves every other argument in place.
+pub fn parse_obs(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--obs" {
+            let Some(p) = args.get(i + 1).filter(|p| !p.is_empty()) else {
+                eprintln!("error: --obs requires an output path");
+                std::process::exit(2);
+            };
+            path = Some(std::path::PathBuf::from(p));
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    path.or_else(|| {
+        std::env::var("SECFLOW_OBS")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    })
+}
+
+/// RAII guard for one experiment run: emits the run-info line and, if
+/// an observability path was requested, starts the session. On drop it
+/// finishes the session and writes the metrics JSON plus the chrome
+/// trace next to it.
+///
+/// Construct with [`start_run`] *after* all option parsing, so usage
+/// errors never produce a run-info line or a partial metrics file.
+pub struct RunInfo {
+    exp: &'static str,
+    threads: usize,
+    obs_path: Option<std::path::PathBuf>,
+}
+
+/// Emits the run-info stderr line and arms observability when
+/// `obs_path` is set (from [`parse_obs`]). The returned guard must be
+/// kept alive for the whole run: metrics are written when it drops.
+pub fn start_run(
+    exp: &'static str,
+    threads: usize,
+    obs_path: Option<std::path::PathBuf>,
+) -> RunInfo {
+    emit_run_info(exp, threads);
+    if obs_path.is_some() && !secflow_obs::start() {
+        eprintln!("error: observability session already active");
+        std::process::exit(2);
+    }
+    RunInfo {
+        exp,
+        threads,
+        obs_path,
+    }
+}
+
+impl Drop for RunInfo {
+    fn drop(&mut self) {
+        let Some(path) = self.obs_path.take() else {
+            return;
+        };
+        let Some(report) = secflow_obs::finish() else {
+            return;
+        };
+        match report.write_files(self.exp, self.threads, &path) {
+            Ok(trace) => eprintln!(
+                "wrote {} and {}",
+                path.display(),
+                trace.display()
+            ),
+            Err(e) => eprintln!("error: failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Prints a labelled table row (fixed-width columns, for experiment

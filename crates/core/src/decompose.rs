@@ -249,6 +249,7 @@ pub fn decompose_styled(
         });
     }
 
+    secflow_obs::add(secflow_obs::Counter::DecomposeRails, nets.len() as u64);
     Ok(RoutedDesign { placed, nets })
 }
 

@@ -156,32 +156,18 @@ impl FlowError {
 
     /// Structured single-line JSON report,
     /// `{"error":{"stage":...,"kind":...,"detail":...}}`, suitable for
-    /// stderr. Produced by hand — the workspace has no serde.
+    /// stderr. Emitted through the workspace's shared escaping-safe
+    /// writer (`secflow_obs::json`) — the workspace has no serde.
     pub fn to_json(&self) -> String {
-        format!(
-            r#"{{"error":{{"stage":"{}","kind":"{}","detail":"{}"}}}}"#,
-            self.stage().name(),
-            json_escape(&self.kind()),
-            json_escape(&self.to_string()),
-        )
+        let mut inner = secflow_obs::json::Obj::new();
+        inner
+            .str("stage", self.stage().name())
+            .str("kind", &self.kind())
+            .str("detail", &self.to_string());
+        let mut outer = secflow_obs::json::Obj::new();
+        outer.raw("error", &inner.build());
+        outer.build()
     }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 impl fmt::Display for FlowError {
@@ -295,8 +281,10 @@ mod tests {
 
     #[test]
     fn json_escape_handles_specials() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // The shared writer (one escaping implementation for errors,
+        // run-info lines, and metrics exports).
+        assert_eq!(secflow_obs::json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(secflow_obs::json::escape("\u{1}"), "\\u0001");
     }
 
     #[test]

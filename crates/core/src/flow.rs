@@ -163,8 +163,12 @@ pub fn run_regular_flow(
     lib: &Library,
     opts: &FlowOptions,
 ) -> Result<RegularFlowResult, FlowError> {
+    let _flow = secflow_obs::span("flow.regular");
     let t = Instant::now();
-    let netlist = map_design(design, lib, &opts.map)?;
+    let netlist = {
+        let _s = secflow_obs::span("synth");
+        map_design(design, lib, &opts.map)?
+    };
     let synth_ms = ms(t);
     run_regular_backend(netlist, lib, opts, synth_ms)
 }
@@ -182,32 +186,49 @@ pub fn run_regular_backend(
     opts: &FlowOptions,
     synth_ms: f64,
 ) -> Result<RegularFlowResult, FlowError> {
+    // The backend's entry contract is the CLI's `rtl.v` netlist; the
+    // structural sanity check is the flow's Parse stage.
+    {
+        let _s = secflow_obs::span("parse");
+        netlist.validate().map_err(FlowError::Parse)?;
+    }
     let t = Instant::now();
-    let placed = place_best_of(
-        &netlist,
-        lib,
-        &PlaceOptions {
-            fill_factor: opts.fill_factor,
-            aspect_ratio: opts.aspect_ratio,
-            anneal_moves_per_gate: opts.anneal_moves_per_gate,
-            seed: opts.seed,
-            pitch: GridPitch::Normal,
-        },
-        opts.place_restarts,
-    )?;
+    let placed = {
+        let _s = secflow_obs::span("place");
+        place_best_of(
+            &netlist,
+            lib,
+            &PlaceOptions {
+                fill_factor: opts.fill_factor,
+                aspect_ratio: opts.aspect_ratio,
+                anneal_moves_per_gate: opts.anneal_moves_per_gate,
+                seed: opts.seed,
+                pitch: GridPitch::Normal,
+            },
+            opts.place_restarts,
+        )?
+    };
     let place_ms = ms(t);
 
     let t = Instant::now();
-    let routed = route(&netlist, lib, &placed, &opts.route)?;
+    let routed = {
+        let _s = secflow_obs::span("route");
+        route(&netlist, lib, &placed, &opts.route)?
+    };
     let route_ms = ms(t);
 
     let t = Instant::now();
-    let parasitics = try_extract(&routed, &netlist, &opts.tech)?;
+    let parasitics = {
+        let _s = secflow_obs::span("extract");
+        try_extract(&routed, &netlist, &opts.tech)?
+    };
     let extract_ms = ms(t);
 
+    let _sim_span = secflow_obs::span("sim");
     let timing = secflow_sim::sta::analyze(&netlist, lib, Some(&parasitics))?;
     let clock = build_clock_tree(&netlist, lib, &placed, &ClockOptions::default())
         .map(|t| t.report(&ClockOptions::default()));
+    drop(_sim_span);
     let report = FlowReport {
         stats: NetlistStats::of(&netlist),
         die_area_um2: f64::from(placed.width) * TRACK_UM * f64::from(placed.height) * TRACK_UM,
@@ -249,8 +270,12 @@ pub fn run_secure_flow(
     lib: &Library,
     opts: &FlowOptions,
 ) -> Result<SecureFlowResult, FlowError> {
+    let _flow = secflow_obs::span("flow.secure");
     let t = Instant::now();
-    let mapped = map_design(design, lib, &opts.map)?;
+    let mapped = {
+        let _s = secflow_obs::span("synth");
+        map_design(design, lib, &opts.map)?
+    };
     let synth_ms = ms(t);
     run_secure_backend(mapped, lib, opts, synth_ms)
 }
@@ -270,71 +295,98 @@ pub fn run_secure_backend(
     opts: &FlowOptions,
     synth_ms: f64,
 ) -> Result<SecureFlowResult, FlowError> {
+    // The backend's entry contract is the CLI's `rtl.v` netlist; the
+    // structural sanity check is the flow's Parse stage.
+    {
+        let _s = secflow_obs::span("parse");
+        mapped.validate().map_err(FlowError::Parse)?;
+    }
     let t = Instant::now();
-    let substitution = substitute(&mapped, lib)?;
+    let substitution = {
+        let _s = secflow_obs::span("substitute");
+        substitute(&mapped, lib)?
+    };
     let substitute_ms = ms(t);
 
     let t = Instant::now();
-    let fat_placed = place_best_of(
-        &substitution.fat,
-        &substitution.fat_lib,
-        &PlaceOptions {
-            fill_factor: opts.fill_factor,
-            aspect_ratio: opts.aspect_ratio,
-            anneal_moves_per_gate: opts.anneal_moves_per_gate,
-            seed: opts.seed,
-            pitch: GridPitch::Fat,
-        },
-        opts.place_restarts,
-    )?;
+    let fat_placed = {
+        let _s = secflow_obs::span("place");
+        place_best_of(
+            &substitution.fat,
+            &substitution.fat_lib,
+            &PlaceOptions {
+                fill_factor: opts.fill_factor,
+                aspect_ratio: opts.aspect_ratio,
+                anneal_moves_per_gate: opts.anneal_moves_per_gate,
+                seed: opts.seed,
+                pitch: GridPitch::Fat,
+            },
+            opts.place_restarts,
+        )?
+    };
     let place_ms = ms(t);
 
     let t = Instant::now();
-    let fat_routed = route(
-        &substitution.fat,
-        &substitution.fat_lib,
-        &fat_placed,
-        &opts.route,
-    )?;
+    let fat_routed = {
+        let _s = secflow_obs::span("route");
+        route(
+            &substitution.fat,
+            &substitution.fat_lib,
+            &fat_placed,
+            &opts.route,
+        )?
+    };
     let route_ms = ms(t);
 
     let t = Instant::now();
-    let decomposed = decompose_styled(&fat_routed, &substitution, opts.decompose_style)?;
+    let decomposed = {
+        let _s = secflow_obs::span("decompose");
+        decompose_styled(&fat_routed, &substitution, opts.decompose_style)?
+    };
     let decompose_ms = ms(t);
 
     let t = Instant::now();
-    let parasitics = try_extract(&decomposed, &substitution.differential, &opts.tech)?;
+    let parasitics = {
+        let _s = secflow_obs::span("extract");
+        try_extract(&decomposed, &substitution.differential, &opts.tech)?
+    };
     let extract_ms = ms(t);
 
     let t = Instant::now();
     let mut lec_equivalent = None;
     if opts.verify {
         // Fat netlist vs original netlist (Formality step).
-        let report = if mapped.gate_count() <= opts.bdd_gate_limit {
-            check_equiv_with_parity(
-                &mapped,
-                lib,
-                &substitution.fat,
-                &substitution.fat_lib,
-                Some(&substitution.fat_output_parity),
-                Some(&substitution.fat_register_parity),
-            )?
-        } else {
-            check_equiv_random_with_parity(
-                &mapped,
-                lib,
-                &substitution.fat,
-                &substitution.fat_lib,
-                Some(&substitution.fat_output_parity),
-                Some(&substitution.fat_register_parity),
-                8,
-                opts.seed,
-            )?
+        let report = {
+            let _s = secflow_obs::span("lec");
+            if mapped.gate_count() <= opts.bdd_gate_limit {
+                check_equiv_with_parity(
+                    &mapped,
+                    lib,
+                    &substitution.fat,
+                    &substitution.fat_lib,
+                    Some(&substitution.fat_output_parity),
+                    Some(&substitution.fat_register_parity),
+                )?
+            } else {
+                check_equiv_random_with_parity(
+                    &mapped,
+                    lib,
+                    &substitution.fat,
+                    &substitution.fat_lib,
+                    Some(&substitution.fat_output_parity),
+                    Some(&substitution.fat_register_parity),
+                    8,
+                    opts.seed,
+                )?
+            }
         };
         lec_equivalent = Some(report.equivalent);
         // WDDL invariants on the differential netlist.
-        verify_precharge_wave(&substitution)?;
-        verify_rail_complementarity(&mapped, lib, &substitution, 32, opts.seed)?;
+        {
+            let _s = secflow_obs::span("railcheck");
+            verify_precharge_wave(&substitution)?;
+            verify_rail_complementarity(&mapped, lib, &substitution, 32, opts.seed)?;
+        }
     }
     let verify_ms = ms(t);
 
@@ -359,6 +411,7 @@ pub fn run_secure_backend(
     let w_tracks = f64::from(fat_placed.width * scale);
     let h_tracks = f64::from(fat_placed.height * scale);
 
+    let _sim_span = secflow_obs::span("sim");
     let timing = secflow_sim::sta::analyze(
         &substitution.differential,
         &substitution.diff_lib,
@@ -377,6 +430,7 @@ pub fn run_secure_backend(
         &clock_opts,
     )
     .map(|t| t.report(&clock_opts));
+    drop(_sim_span);
     let report = FlowReport {
         stats: NetlistStats::of(&substitution.differential),
         die_area_um2: w_tracks * TRACK_UM * h_tracks * TRACK_UM,

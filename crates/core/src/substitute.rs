@@ -334,6 +334,10 @@ pub fn substitute(nl: &Netlist, base: &Library) -> Result<Substitution, Substitu
 
     let fat_lib = wddl.fat_library();
     let diff_lib = wddl.diff_library();
+    secflow_obs::add(
+        secflow_obs::Counter::SubstituteGates,
+        nl.gate_count() as u64,
+    );
     Ok(Substitution {
         fat,
         differential: diff,

@@ -138,6 +138,8 @@ pub fn dpa_attack(
     select: impl Fn(u8, usize) -> bool + Sync,
 ) -> DpaResult {
     assert!(n_keys > 0);
+    let _span = secflow_obs::span("dpa.attack");
+    secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
     let samples = traces.first().map_or(0, Vec::len);
     let guesses = par_map_range(n_keys, |k| {
         let mut sums = KeySums::new(k as u8, samples);
@@ -188,6 +190,8 @@ pub fn mtd_scan(
     select: impl Fn(u8, usize) -> bool + Sync,
 ) -> MtdScan {
     assert!(step > 0 && n_keys > 0);
+    let _span = secflow_obs::span("dpa.mtd_scan");
+    secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
     let samples = traces.first().map_or(0, Vec::len);
     let checkpoints: Vec<usize> = (1..=traces.len())
         .filter(|&n| n % step == 0 || n == traces.len())

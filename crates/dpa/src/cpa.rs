@@ -147,6 +147,8 @@ pub fn cpa_attack(
     model: impl Fn(u8, usize) -> f64 + Sync,
 ) -> CpaResult {
     assert!(n_keys > 0);
+    let _span = secflow_obs::span("dpa.cpa");
+    secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
     let samples = traces.first().map_or(0, Vec::len);
     let ts = TraceSums::over(traces, samples, traces.len());
     let guesses = par_map_range(n_keys, |k| {
@@ -185,6 +187,8 @@ pub fn cpa_mtd_scan(
     model: impl Fn(u8, usize) -> f64 + Sync,
 ) -> (Vec<CpaMtdPoint>, Option<usize>) {
     assert!(step > 0 && n_keys > 0);
+    let _span = secflow_obs::span("dpa.cpa_mtd_scan");
+    secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
     let samples = traces.first().map_or(0, Vec::len);
     let checkpoints: Vec<usize> = (1..=traces.len())
         .filter(|&n| n % step == 0 || n == traces.len())

@@ -23,6 +23,7 @@ use secflow_crypto::dpa_module::{encrypt, selection};
 use secflow_exec::par_map_range_with;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
+use secflow_obs as obs;
 use secflow_sim::{add_gaussian_noise, CompiledSim, EngineScratch, LoadModel, SimConfig, SimError};
 
 /// A simulated implementation of the DES DPA module.
@@ -93,6 +94,7 @@ pub fn collect_des_traces(
     seed: u64,
 ) -> Result<TraceSet, SimError> {
     assert!(key < 64);
+    let _campaign = obs::span("dpa.campaign");
     // Plaintexts are drawn sequentially up front — cheap, and it keeps
     // the campaign identical to the serial harness for a given seed.
     // Only the expensive per-encryption simulation is parallelised.
@@ -179,6 +181,16 @@ pub fn collect_des_traces(
                 split_seed(cfg.noise_seed, i as u64),
             );
         }
+        // Per-window kernel counters: each is a pure function of the
+        // compiled design and this window's vectors, so campaign sums
+        // are thread-count invariant (pinned by tests/obs_counters.rs).
+        if obs::enabled() {
+            obs::add(obs::Counter::SimWindows, 1);
+            obs::add(obs::Counter::SimEvents, scratch.events_processed());
+            obs::add(obs::Counter::SimEvals, scratch.gate_evals());
+            obs::add(obs::Counter::SimRises, scratch.cycle_rises().iter().sum());
+            obs::gauge_max(obs::Gauge::SimWheelPeak, scratch.wheel_peak());
+        }
         let energy = scratch.cycle_energy_fj()[leak_cycle];
         let got = decode(scratch.outputs(leak_cycle + 1));
         let (pl, pr) = plaintexts[i];
@@ -199,6 +211,7 @@ pub fn collect_des_traces(
         energies.push(energy);
     }
 
+    obs::add(obs::Counter::DpaTraces, n as u64);
     Ok(TraceSet {
         traces,
         ciphertexts,

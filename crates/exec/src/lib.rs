@@ -276,45 +276,72 @@ fn run_pool_with<S, R: Send>(
     let abort = AtomicBool::new(false);
     let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
 
+    // Observability: one enabled() check for the whole region; the
+    // per-worker tallies below are plain locals when it is off.
+    let obs_on = secflow_obs::enabled();
+    let region = secflow_obs::begin_region(n as u64);
+    let _region_span = secflow_obs::span("exec.region");
+
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.extend((0..n).map(|_| None));
 
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let (next, abort, panics) = (&next, &abort, &panics);
+                s.spawn(move || {
                     IN_PAR.with(|c| c.set(true));
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    let mut state = match catch_unwind(AssertUnwindSafe(init)) {
-                        Ok(s) => s,
-                        Err(payload) => {
-                            abort.store(true, Ordering::Relaxed);
-                            panics
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .push((n, payload));
-                            return local;
-                        }
-                    };
-                    while !abort.load(Ordering::Relaxed) {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + chunk).min(n);
-                        for i in start..end {
-                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
-                                Ok(r) => local.push((i, r)),
-                                Err(payload) => {
-                                    abort.store(true, Ordering::Relaxed);
-                                    panics
-                                        .lock()
-                                        .unwrap_or_else(|e| e.into_inner())
-                                        .push((i, payload));
-                                    return local;
+                    let t0 = obs_on.then(std::time::Instant::now);
+                    let mut chunks_claimed = 0u64;
+                    let mut items_done = 0u64;
+                    let local = 'work: {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut state = match catch_unwind(AssertUnwindSafe(init)) {
+                            Ok(s) => s,
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                panics
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push((n, payload));
+                                break 'work local;
+                            }
+                        };
+                        while !abort.load(Ordering::Relaxed) {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            chunks_claimed += 1;
+                            let end = (start + chunk).min(n);
+                            for i in start..end {
+                                match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                                    Ok(r) => {
+                                        local.push((i, r));
+                                        items_done += 1;
+                                    }
+                                    Err(payload) => {
+                                        abort.store(true, Ordering::Relaxed);
+                                        panics
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner())
+                                            .push((i, payload));
+                                        break 'work local;
+                                    }
                                 }
                             }
                         }
+                        local
+                    };
+                    if let Some(t0) = t0 {
+                        secflow_obs::record_worker(
+                            region,
+                            w as u32,
+                            t0.elapsed().as_nanos() as u64,
+                            chunks_claimed,
+                            items_done,
+                        );
+                        secflow_obs::flush_thread();
                     }
                     local
                 })

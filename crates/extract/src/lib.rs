@@ -272,6 +272,9 @@ pub fn extract(design: &RoutedDesign, nl: &Netlist, tech: &Technology) -> Parasi
         n.couplings.sort_by_key(|&(id, _)| id);
     }
 
+    secflow_obs::add(secflow_obs::Counter::ExtractNets, design.nets.len() as u64);
+    secflow_obs::add(secflow_obs::Counter::ExtractCouplings, pair_caps.len() as u64);
+
     Parasitics { nets }
 }
 

@@ -33,6 +33,7 @@ pub struct Bdd {
     nodes: Vec<Node>,
     unique: HashMap<(u32, BddRef, BddRef), BddRef>,
     ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    ite_cache_hits: u64,
 }
 
 impl Bdd {
@@ -53,12 +54,19 @@ impl Bdd {
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
+            ite_cache_hits: 0,
         }
     }
 
     /// Number of live nodes (including terminals).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// ITE computed-cache hits since creation (a deterministic
+    /// function of the operation sequence).
+    pub fn ite_cache_hits(&self) -> u64 {
+        self.ite_cache_hits
     }
 
     fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
@@ -108,6 +116,7 @@ impl Bdd {
             return f;
         }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.ite_cache_hits += 1;
             return r;
         }
         let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));

@@ -153,13 +153,17 @@ fn netlist_bdds(
     // Mapped netlists instantiate a handful of distinct cells tens of
     // thousands of times; resolve each name once, not per gate.
     let mut cell_memo: HashMap<&str, &secflow_cells::LibCell> = HashMap::new();
+    let mut memo_hits = 0u64;
     for gid in order {
         let g = nl.gate(gid);
         if g.kind == GateKind::Seq {
             continue;
         }
         let cell = match cell_memo.get(g.cell.as_str()) {
-            Some(&c) => c,
+            Some(&c) => {
+                memo_hits += 1;
+                c
+            }
             None => {
                 let c = lib.by_name(&g.cell).ok_or_else(|| LecError::BadNetlist {
                     reason: format!("unknown cell `{}`", g.cell),
@@ -179,6 +183,7 @@ fn netlist_bdds(
             CellFunction::Dff | CellFunction::WddlDff => {}
         }
     }
+    secflow_obs::add(secflow_obs::Counter::LecCellMemoHits, memo_hits);
     Ok(refs)
 }
 
@@ -242,11 +247,23 @@ pub fn check_equiv_with_parity(
     out_parity_b: Option<&[bool]>,
     reg_parity_b: Option<&[bool]>,
 ) -> Result<EquivReport, LecError> {
+    let _span = secflow_obs::span("lec.bdd");
     let src = build_sources(nl_a, nl_b)?;
     let neg = vec![false; src.n_vars];
     let mut bdd = Bdd::new();
     let refs_a = netlist_bdds(&mut bdd, nl_a, lib_a, &src.var_nets_a, &neg)?;
     let refs_b = netlist_bdds(&mut bdd, nl_b, lib_b, &src.var_nets_b, &neg)?;
+    let report_bdd_stats = |bdd: &Bdd| {
+        secflow_obs::add(secflow_obs::Counter::LecIteCacheHits, bdd.ite_cache_hits());
+        secflow_obs::gauge_max(
+            secflow_obs::Gauge::LecBddPeakNodes,
+            bdd.node_count() as u64,
+        );
+    };
+    secflow_obs::add(
+        secflow_obs::Counter::LecOutputs,
+        nl_a.outputs().len() as u64,
+    );
 
     // Outputs.
     for (i, (&oa, &ob)) in nl_a.outputs().iter().zip(nl_b.outputs()).enumerate() {
@@ -257,6 +274,7 @@ pub fn check_equiv_with_parity(
         }
         let miter = bdd.xor(fa, fb);
         if let Some(cex) = bdd.any_sat(miter, src.n_vars) {
+            report_bdd_stats(&bdd);
             return Ok(EquivReport {
                 equivalent: false,
                 failing_output: Some((i, cex)),
@@ -272,6 +290,7 @@ pub fn check_equiv_with_parity(
         }
         let miter = bdd.xor(refs_a[da.index()], fb);
         if let Some(cex) = bdd.any_sat(miter, src.n_vars) {
+            report_bdd_stats(&bdd);
             return Ok(EquivReport {
                 equivalent: false,
                 failing_output: None,
@@ -279,6 +298,7 @@ pub fn check_equiv_with_parity(
             });
         }
     }
+    report_bdd_stats(&bdd);
     Ok(EquivReport {
         equivalent: true,
         failing_output: None,
@@ -314,6 +334,7 @@ impl CompiledComb {
             reason: format!("netlist `{}` has a combinational cycle", nl.name),
         })?;
         let mut cell_memo: HashMap<&str, &secflow_cells::LibCell> = HashMap::new();
+        let mut memo_hits = 0u64;
         let mut ops = Vec::new();
         for gid in order {
             let g = nl.gate(gid);
@@ -321,7 +342,10 @@ impl CompiledComb {
                 continue;
             }
             let cell = match cell_memo.get(g.cell.as_str()) {
-                Some(&c) => c,
+                Some(&c) => {
+                    memo_hits += 1;
+                    c
+                }
                 None => {
                     let c = lib.by_name(&g.cell).ok_or_else(|| LecError::BadNetlist {
                         reason: format!("unknown cell `{}`", g.cell),
@@ -343,6 +367,7 @@ impl CompiledComb {
                 CellFunction::Dff | CellFunction::WddlDff => {}
             }
         }
+        secflow_obs::add(secflow_obs::Counter::LecCellMemoHits, memo_hits);
         Ok(CompiledComb {
             n_nets: nl.net_count(),
             ops,
@@ -452,6 +477,12 @@ pub fn check_equiv_random_with_parity(
     rounds: usize,
     seed: u64,
 ) -> Result<EquivReport, LecError> {
+    let _span = secflow_obs::span("lec.random");
+    secflow_obs::add(secflow_obs::Counter::LecRandomRounds, rounds as u64);
+    secflow_obs::add(
+        secflow_obs::Counter::LecOutputs,
+        nl_a.outputs().len() as u64,
+    );
     let src = build_sources(nl_a, nl_b)?;
     let neg = vec![false; src.n_vars];
     // Both netlists are compiled once (cells resolved, topological

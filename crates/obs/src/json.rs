@@ -1,0 +1,167 @@
+//! Minimal, escaping-safe JSON emission.
+//!
+//! The workspace is hermetic (no serde), so every JSON document we
+//! produce — flow errors, run-info stderr lines, metrics exports,
+//! chrome traces — is assembled by hand. Before this module each
+//! call-site carried its own ad-hoc `.replace('\\', ..)` chain, which
+//! is exactly how escaping bugs breed. All emitters now share this
+//! one writer.
+//!
+//! Output is compact (no whitespace), keys appear in insertion
+//! order, and strings are escaped per RFC 8259: `"`, `\`, and all
+//! control characters below U+0020 (named escapes for `\n`, `\r`,
+//! `\t`, `\uXXXX` for the rest).
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder for a compact JSON object. Keys are emitted in call order.
+#[derive(Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (value escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Obj {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Obj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field. Non-finite values are emitted as `null`
+    /// (JSON has no NaN/Inf).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Obj {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, literal) verbatim.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes the object and returns the JSON text.
+    pub fn build(&mut self) -> String {
+        if self.buf.is_empty() {
+            return "{}".to_string();
+        }
+        let mut s = std::mem::take(&mut self.buf);
+        s.push('}');
+        s
+    }
+}
+
+/// Builder for a compact JSON array of pre-rendered values.
+#[derive(Default)]
+pub struct Arr {
+    buf: String,
+}
+
+impl Arr {
+    pub fn new() -> Arr {
+        Arr { buf: String::new() }
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn raw(&mut self, v: &str) -> &mut Arr {
+        self.buf.push(if self.buf.is_empty() { '[' } else { ',' });
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes the array and returns the JSON text.
+    pub fn build(&mut self) -> String {
+        if self.buf.is_empty() {
+            return "[]".to_string();
+        }
+        let mut s = std::mem::take(&mut self.buf);
+        s.push(']');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\t\r"), "x\\ny\\t\\r");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_builder() {
+        let mut o = Obj::new();
+        o.str("a", "v\"x").u64("n", 7).f64("f", 1.5);
+        o.raw("inner", "{\"k\":1}");
+        assert_eq!(o.build(), r#"{"a":"v\"x","n":7,"f":1.5,"inner":{"k":1}}"#);
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        assert_eq!(Obj::new().build(), "{}");
+        assert_eq!(Arr::new().build(), "[]");
+        let mut o = Obj::new();
+        o.f64("bad", f64::NAN);
+        assert_eq!(o.build(), r#"{"bad":null}"#);
+    }
+
+    #[test]
+    fn array_builder() {
+        let mut a = Arr::new();
+        a.raw("1").raw("\"x\"");
+        assert_eq!(a.build(), r#"[1,"x"]"#);
+    }
+}

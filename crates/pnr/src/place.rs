@@ -235,6 +235,7 @@ fn anneal(
 ) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let moves = opts.anneal_moves_per_gate * nl.gate_count();
+    let mut accepted = 0u64;
     let n_rows = state.rows.len();
     let mut total = design.total_hpwl(nl, lib);
     let mut best = total;
@@ -310,6 +311,7 @@ fn anneal(
             state.repack_row(gw, r1, &mut design.cells);
             state.repack_row(gw, r2, &mut design.cells);
         } else {
+            accepted += 1;
             // Keep width bookkeeping in sync.
             recompute_widths(gw, state);
             total += after - before;
@@ -324,6 +326,8 @@ fn anneal(
     if best < total {
         design.cells = best_cells;
     }
+    secflow_obs::add(secflow_obs::Counter::PlaceMoves, moves as u64);
+    secflow_obs::add(secflow_obs::Counter::PlaceAccepted, accepted);
 }
 
 /// A reversible move description.
@@ -415,6 +419,7 @@ pub fn place_best_of(
     opts: &PlaceOptions,
     restarts: usize,
 ) -> Result<PlacedDesign, PlaceError> {
+    secflow_obs::add(secflow_obs::Counter::PlaceRestarts, restarts.max(1) as u64);
     if restarts <= 1 {
         return place(nl, lib, opts);
     }

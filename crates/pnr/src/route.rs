@@ -262,6 +262,7 @@ pub fn route(
 
     let mut present_factor = 0.5f64;
     let mut iterations = 0usize;
+    let mut ripups = 0u64;
     // PathFinder refinement: after the first pass, only nets whose
     // trees touch congested nodes are ripped up and re-routed.
     let mut reroute: Vec<bool> = vec![true; work.len()];
@@ -270,6 +271,9 @@ pub fn route(
         for (i, (net, pins)) in work.iter().enumerate() {
             if !reroute[i] {
                 continue;
+            }
+            if !trees[i].is_empty() {
+                ripups += 1;
             }
             // Rip up the previous route of this net.
             for &p in &trees[i] {
@@ -327,6 +331,10 @@ pub fn route(
         }
         present_factor *= 1.6;
     }
+
+    secflow_obs::add(secflow_obs::Counter::RouteNets, work.len() as u64);
+    secflow_obs::add(secflow_obs::Counter::RouteRipups, ripups);
+    secflow_obs::add(secflow_obs::Counter::RouteIterations, iterations as u64);
 
     let nets = work
         .iter()

@@ -401,6 +401,17 @@ pub struct EngineScratch {
     // --- geometry of the last run ---
     pub(crate) samples_per_cycle: usize,
     pub(crate) n_outputs: usize,
+    // --- kernel work counters (per window, reset like the buffers;
+    // deterministic functions of (comp, stimuli), so campaign sums are
+    // thread-count invariant) ---
+    /// Timing-wheel events drained in the last window.
+    pub(crate) events_processed: u64,
+    /// Combinational gate evaluations in the last window.
+    pub(crate) gate_evals: u64,
+    /// Events currently pending on the wheel.
+    pub(crate) wheel_pending: u64,
+    /// Peak simultaneous pending events (wheel occupancy high-water).
+    pub(crate) wheel_peak: u64,
 }
 
 impl EngineScratch {
@@ -463,6 +474,10 @@ impl EngineScratch {
         self.wddl_alarms.clear();
         self.samples_per_cycle = spc;
         self.n_outputs = comp.outputs.len();
+        self.events_processed = 0;
+        self.gate_evals = 0;
+        self.wheel_pending = 0;
+        self.wheel_peak = 0;
     }
 
     /// The full supply-current trace of the last window.
@@ -493,6 +508,23 @@ impl EngineScratch {
     /// Per-cycle WDDL DFA alarm counts (empty for single-ended runs).
     pub fn wddl_alarms(&self) -> &[usize] {
         &self.wddl_alarms
+    }
+
+    /// Timing-wheel events drained in the last window. A deterministic
+    /// function of the compiled design and the window's stimuli.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Combinational gate evaluations in the last window.
+    pub fn gate_evals(&self) -> u64 {
+        self.gate_evals
+    }
+
+    /// Peak simultaneous pending events on the timing wheel in the
+    /// last window (queue-depth high-water mark).
+    pub fn wheel_peak(&self) -> u64 {
+        self.wheel_peak
     }
 
     /// Moves the last window's results into an owned

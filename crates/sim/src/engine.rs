@@ -107,6 +107,10 @@ impl<'a> Engine<'a> {
         let slot = (ev.time & self.s.wheel_mask) as usize;
         self.s.wheel[slot].push(ev);
         self.s.occupancy[slot >> 6] |= 1 << (slot & 63);
+        self.s.wheel_pending += 1;
+        if self.s.wheel_pending > self.s.wheel_peak {
+            self.s.wheel_peak = self.s.wheel_pending;
+        }
     }
 
     /// Injects an externally driven net change (primary input or
@@ -160,6 +164,8 @@ impl<'a> Engine<'a> {
             let slot = (t & mask) as usize;
             self.s.occupancy[slot >> 6] &= !(1u64 << (slot & 63));
             let mut bucket = std::mem::take(&mut self.s.wheel[slot]);
+            self.s.events_processed += bucket.len() as u64;
+            self.s.wheel_pending -= bucket.len() as u64;
             for &ev in &bucket {
                 self.process_event(ev);
             }
@@ -202,6 +208,7 @@ impl<'a> Engine<'a> {
         let CellKind::Comb { tt, delay_ps } = self.comp.cells[gid.index()] else {
             return; // registers are driven by the cycle driver
         };
+        self.s.gate_evals += 1;
         let out = self.comp.out_net[gid.index()];
         let v = tt.eval(self.input_index(gid));
         let effective = self.s.pending[gid.index()].unwrap_or(self.s.values[out.index()]);

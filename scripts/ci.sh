@@ -17,10 +17,24 @@ for t in 1 4; do
     SECFLOW_THREADS=$t cargo test -q --workspace --offline
 done
 
-echo "== tier-1: experiment smoke (Fig. 6 MTD pipeline, 150 traces) =="
-cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke
+echo "== tier-1: experiment smoke (Fig. 6 MTD pipeline, 150 traces, with observability) =="
+cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke \
+    --obs results/OBS_fig6_smoke.json
+python3 scripts/obs_schema_check.py results/OBS_fig6_smoke.json --require-stages
+
+echo "== tier-1: observability stdout byte-identity (Fig. 3 decompose) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release --offline -p secflow-bench --bin exp_fig3_decompose > "$tmp/plain.out"
+cargo run --release --offline -p secflow-bench --bin exp_fig3_decompose -- \
+    --obs "$tmp/obs.json" > "$tmp/obs.out"
+python3 scripts/obs_schema_check.py --compare "$tmp/plain.out" "$tmp/obs.out"
+python3 scripts/obs_schema_check.py "$tmp/obs.json"
 
 echo "== tier-1: compiled-kernel bench smoke (baseline bit-equality self-check) =="
 cargo bench --offline -p secflow-bench --bench flow_stages -- sim_kernel --smoke
+
+echo "== tier-1: observability overhead smoke (noop bound < 1%) =="
+cargo bench --offline -p secflow-bench --bench flow_stages -- obs_overhead --smoke
 
 echo "tier-1 gate: OK"

@@ -21,7 +21,9 @@
 //! `--seed <n>`, `--spaced`, `--shielded`, `--threads <n>` (worker
 //! threads for the parallel stages; default `SECFLOW_THREADS` or all
 //! cores), `--restarts <n>` (independent placement-annealing
-//! restarts, best HPWL wins).
+//! restarts, best HPWL wins), `--obs <path>` (write observability
+//! metrics JSON there plus a chrome-trace next to it; `SECFLOW_OBS`
+//! sets the same path from the environment).
 
 use std::fs;
 use std::path::PathBuf;
@@ -48,13 +50,14 @@ struct Args {
     out: PathBuf,
     secure: bool,
     opts: FlowOptions,
+    obs: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: secflow <rtl.v> [--secure|--regular] [--out DIR] [--fill F] [--aspect R]\n\
          \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]\n\
-         \x20              [--threads N] [--restarts N]"
+         \x20              [--threads N] [--restarts N] [--obs PATH]"
     );
     std::process::exit(2)
 }
@@ -63,6 +66,7 @@ fn parse_args() -> Args {
     let mut input = None;
     let mut out = PathBuf::from("build");
     let mut secure = true;
+    let mut obs = None;
     let mut opts = FlowOptions::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -108,6 +112,7 @@ fn parse_args() -> Args {
                     .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--obs" => obs = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--spaced" => opts.decompose_style = DecomposeStyle::Spaced,
             "--shielded" => opts.decompose_style = DecomposeStyle::Shielded,
             "--no-verify" => opts.verify = false,
@@ -116,11 +121,42 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
+    // `SECFLOW_OBS` arms observability without touching the command
+    // line (useful under wrappers that own the argument list).
+    let obs = obs.or_else(|| {
+        std::env::var("SECFLOW_OBS")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    });
     Args {
         input: input.unwrap_or_else(|| usage()),
         out,
         secure,
         opts,
+        obs,
+    }
+}
+
+/// Finishes the observability session on every exit path (success or
+/// stage failure) and writes the metrics + chrome-trace files.
+struct ObsGuard {
+    path: Option<PathBuf>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let Some(report) = secflow::obs::finish() else {
+            return;
+        };
+        let threads = secflow::exec::effective_threads();
+        match report.write_files("secflow", threads, &path) {
+            Ok(trace) => eprintln!("wrote {} and {}", path.display(), trace.display()),
+            Err(e) => eprintln!("error: failed to write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -167,6 +203,14 @@ fn render_report(kind: &str, r: &FlowReport) -> String {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let _obs_guard = if args.obs.is_some() {
+        secflow::obs::start();
+        ObsGuard {
+            path: args.obs.clone(),
+        }
+    } else {
+        ObsGuard { path: None }
+    };
     let lib = Library::lib180();
 
     let text = match fs::read_to_string(&args.input) {
@@ -198,9 +242,12 @@ fn main() -> ExitCode {
     write("lib.lib", &lib.to_liberty("lib180"));
 
     if args.secure {
-        let result = match run_secure_backend(netlist, &lib, &args.opts, 0.0) {
-            Ok(r) => r,
-            Err(e) => return fail(e),
+        let result = {
+            let _flow = secflow::obs::span("flow.secure");
+            match run_secure_backend(netlist, &lib, &args.opts, 0.0) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            }
         };
         write("fat.v", &write_verilog(&result.substitution.fat));
         write("diff.v", &write_verilog(&result.substitution.differential));
@@ -224,9 +271,12 @@ fn main() -> ExitCode {
         write("report.txt", &report);
         print!("{report}");
     } else {
-        let result = match run_regular_backend(netlist, &lib, &args.opts, 0.0) {
-            Ok(r) => r,
-            Err(e) => return fail(e),
+        let result = {
+            let _flow = secflow::obs::span("flow.regular");
+            match run_regular_backend(netlist, &lib, &args.opts, 0.0) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            }
         };
         write("layout.def", &write_def(&result.routed, &result.netlist));
         let report = render_report("regular", &result.report);

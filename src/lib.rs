@@ -7,6 +7,7 @@ pub use secflow_exec as exec;
 pub use secflow_extract as extract;
 pub use secflow_lec as lec;
 pub use secflow_netlist as netlist;
+pub use secflow_obs as obs;
 pub use secflow_pnr as pnr;
 pub use secflow_rand as rand;
 pub use secflow_sim as sim;
