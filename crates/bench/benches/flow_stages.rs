@@ -23,7 +23,7 @@ use secflow_dpa::attack::dpa_attack;
 use secflow_dpa::harness::{collect_des_traces, DesTarget};
 use secflow_lec::check_equiv_with_parity;
 use secflow_pnr::{place, route, GridPitch, PlaceOptions, RouteOptions};
-use secflow_sim::SimConfig;
+use secflow_sim::{SimBackend, SimConfig};
 use secflow_synth::{map_design, MapOptions};
 use secflow_testkit::timing::{bench, time_median, Measurement};
 
@@ -138,6 +138,7 @@ fn bench_power_sim_and_attack(filter: &str) {
         parasitics: Some(&secure.parasitics),
         wddl_inputs: Some(&secure.substitution.input_pairs),
         glitch_free: false,
+        backend: SimBackend::Event,
     };
     bench("dpa_pipeline/simulate_50_encryptions_wddl", K, || {
         black_box(collect_des_traces(black_box(&target), &cfg, 46, 50, 1).expect("campaign"));
@@ -165,6 +166,7 @@ fn bench_exec_speedup(filter: &str) {
         parasitics: None,
         wddl_inputs: None,
         glitch_free: false,
+        backend: SimBackend::Event,
     };
     let n = 64;
     let threads = secflow_exec::effective_threads();
@@ -339,6 +341,89 @@ fn bench_sim_kernel(filter: &str, smoke: bool) {
     }
 }
 
+/// Bit-sliced campaign kernel vs the compiled event kernel, on the
+/// same WDDL trace campaign the DPA harness runs. Both arms go through
+/// [`collect_des_traces`] — the event backend simulates one window per
+/// encryption, the bit-sliced backend packs up to 64 encryptions per
+/// `u64` lane batch — so the measured ratio is the end-to-end campaign
+/// speedup an experiment binary sees from `--sim-backend bitslice`.
+/// Both are timed serially (thread count pinned to 1) so the ratio is
+/// pure kernel speedup, not parallelism. A bit-for-bit trace
+/// comparison runs before timing: the speedup is only meaningful if
+/// the two kernels are the same function. Results go to
+/// `results/BENCH_sim_bitslice.json`; `--smoke` shrinks the campaign
+/// and skips the JSON.
+fn bench_sim_bitslice(filter: &str, smoke: bool) {
+    if !"sim_bitslice".contains(filter) {
+        return;
+    }
+    let lib = Library::lib180();
+    let mapped = map_design(&des_dpa_design(), &lib, &MapOptions::default()).expect("map");
+    let sub = substitute(&mapped, &lib).expect("substitute");
+    let cfg = SimConfig {
+        samples_per_cycle: 100,
+        ..Default::default()
+    };
+    let key = 46u8;
+    // 1024 encryptions: the same order of magnitude as the paper's
+    // Fig. 6 campaigns (2000 traces), and enough full 64-lane batches
+    // that the ragged warm-up batches and the one-time build cost
+    // amortize out of the ratio.
+    let n = if smoke { 8 } else { 1024 };
+    let k = if smoke { 1 } else { K };
+    let target = |backend: SimBackend| DesTarget {
+        netlist: &sub.differential,
+        lib: &sub.diff_lib,
+        parasitics: None,
+        wddl_inputs: Some(&sub.input_pairs),
+        glitch_free: false,
+        backend,
+    };
+    let event = target(SimBackend::Event);
+    let bitslice = target(SimBackend::Bitslice);
+    let campaign = |t: &DesTarget| collect_des_traces(t, &cfg, key, n, 1).expect("campaign");
+
+    // The speedup is only meaningful if both kernels are the same
+    // function: byte-compare every trace sample before timing.
+    let a = campaign(&event);
+    let b = campaign(&bitslice);
+    assert_eq!(a.ciphertexts, b.ciphertexts, "ciphertexts diverged");
+    assert_eq!(a.traces.len(), b.traces.len());
+    for (i, (ta, tb)) in a.traces.iter().zip(&b.traces).enumerate() {
+        let bits = |t: &[f64]| t.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(ta), bits(tb), "trace {i} diverged");
+    }
+
+    let base = secflow_exec::with_threads(1, || {
+        time_median(&format!("sim_bitslice/event_{n}_encryptions"), k, || {
+            black_box(campaign(&event));
+        })
+    });
+    let bs = secflow_exec::with_threads(1, || {
+        time_median(&format!("sim_bitslice/bitslice_{n}_encryptions"), k, || {
+            black_box(campaign(&bitslice));
+        })
+    });
+    println!("{}", base.json_line());
+    println!("{}", bs.json_line());
+    let speedup = base.median_ns as f64 / bs.median_ns as f64;
+    let json = format!(
+        "{{\"bench\":\"sim_bitslice\",\"threads\":1,\"n_encryptions\":{n},\
+         \"event_median_ns\":{},\"bitslice_median_ns\":{},\
+         \"speedup\":{speedup:.3},\"k\":{k}}}",
+        base.median_ns, bs.median_ns
+    );
+    println!("{json}");
+    if smoke {
+        return;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_sim_bitslice.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 /// Cost of the observability layer on the DPA trace campaign, in both
 /// of its states: disabled (the default NoopSink path — one relaxed
 /// atomic load per instrumentation point) and enabled (per-thread
@@ -376,6 +461,7 @@ fn bench_obs_overhead(filter: &str, smoke: bool) {
         parasitics: None,
         wddl_inputs: None,
         glitch_free: false,
+        backend: SimBackend::Event,
     };
     let n = if smoke { 8 } else { 64 };
     let k = if smoke { 1 } else { K };
@@ -463,7 +549,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    const GROUPS: [&str; 9] = [
+    const GROUPS: [&str; 10] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
@@ -472,6 +558,7 @@ fn main() {
         "dpa_pipeline",
         "exec_speedup",
         "sim_kernel",
+        "sim_bitslice",
         "obs_overhead",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
@@ -486,5 +573,6 @@ fn main() {
     bench_power_sim_and_attack(&filter);
     bench_exec_speedup(&filter);
     bench_sim_kernel(&filter, smoke);
+    bench_sim_bitslice(&filter, smoke);
     bench_obs_overhead(&filter, smoke);
 }

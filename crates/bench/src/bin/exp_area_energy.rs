@@ -19,6 +19,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
     let obs = secflow_bench::parse_obs(&mut args);
+    let backend = secflow_bench::parse_sim_backend(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
@@ -53,8 +54,8 @@ fn main() {
     println!("area ratio secure/reference = {area_ratio:.2} (paper: 12880/3782 = 3.41)");
 
     eprintln!("simulating {n} encryptions on each implementation...");
-    let reg = secflow_bench::ok_or_exit(collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed));
-    let sec = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed));
+    let reg = secflow_bench::ok_or_exit(collect_des_traces(&imps.regular_target().with_backend(backend), &cfg, PAPER_KEY, n, seed));
+    let sec = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target().with_backend(backend), &cfg, PAPER_KEY, n, seed));
     let reg_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&reg.energies, 1));
     let sec_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&sec.energies, 1));
 

@@ -18,6 +18,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
     let obs = secflow_bench::parse_obs(&mut args);
+    let backend = secflow_bench::parse_sim_backend(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2500);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
@@ -30,8 +31,8 @@ fn main() {
 
     println!("=== E14: single-bit DPA vs Hamming-weight CPA ({n} traces, K = {PAPER_KEY}) ===");
     for (name, target) in [
-        ("reference", imps.regular_target()),
-        ("secure", imps.secure_target()),
+        ("reference", imps.regular_target().with_backend(backend)),
+        ("secure", imps.secure_target().with_backend(backend)),
     ] {
         eprintln!("simulating {n} encryptions on the {name} implementation...");
         let set = secflow_bench::ok_or_exit(collect_des_traces(&target, &cfg, PAPER_KEY, n, seed));

@@ -12,6 +12,8 @@
 //! Usage: `exp_fig6_mtd [n_traces] [seed]` (defaults: 2000, 1), or
 //! `exp_fig6_mtd --smoke` for the CI gate: a 150-trace campaign that
 //! exercises the full build–simulate–attack pipeline in minutes.
+//! `--sim-backend event|bitslice` selects the campaign kernel; both
+//! produce byte-identical stdout (the CI gate compares them).
 
 use secflow_bench::{build_des_implementations, header, paper_sim_config, row};
 use secflow_crypto::dpa_module::PAPER_KEY;
@@ -22,6 +24,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
     let obs = secflow_bench::parse_obs(&mut args);
+    let backend = secflow_bench::parse_sim_backend(&mut args);
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let mut args = args.into_iter();
@@ -42,11 +45,23 @@ fn main() {
     let sets = [
         (
             "reference",
-            secflow_bench::ok_or_exit(collect_des_traces(&imps.regular_target(), &cfg, PAPER_KEY, n, seed)),
+            secflow_bench::ok_or_exit(collect_des_traces(
+                &imps.regular_target().with_backend(backend),
+                &cfg,
+                PAPER_KEY,
+                n,
+                seed,
+            )),
         ),
         (
             "secure",
-            secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed)),
+            secflow_bench::ok_or_exit(collect_des_traces(
+                &imps.secure_target().with_backend(backend),
+                &cfg,
+                PAPER_KEY,
+                n,
+                seed,
+            )),
         ),
     ];
 

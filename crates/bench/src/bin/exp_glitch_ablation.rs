@@ -11,6 +11,7 @@
 //! Usage: `exp_glitch_ablation [n_traces] [seed]` (defaults 2000, 1).
 
 use secflow_bench::{build_des_implementations, header_cols, paper_sim_config, row};
+use secflow_sim::SimBackend;
 use secflow_crypto::dpa_module::PAPER_KEY;
 use secflow_dpa::attack::mtd_scan;
 use secflow_dpa::harness::{collect_des_traces, DesTarget};
@@ -20,6 +21,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
     let obs = secflow_bench::parse_obs(&mut args);
+    let backend = secflow_bench::parse_sim_backend(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
@@ -30,9 +32,10 @@ fn main() {
     let imps = build_des_implementations();
     let cfg = paper_sim_config();
 
-    let glitchy = imps.regular_target();
+    let glitchy = imps.regular_target().with_backend(backend);
     let glitch_free = DesTarget {
         glitch_free: true,
+        backend: SimBackend::Event,
         ..glitchy
     };
 

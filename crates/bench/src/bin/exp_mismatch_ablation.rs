@@ -15,6 +15,7 @@
 //! Usage: `exp_mismatch_ablation [n_traces] [seed]` (defaults 1000, 1).
 
 use secflow_bench::{build_des_implementations, header_cols, paper_sim_config, row};
+use secflow_sim::SimBackend;
 use secflow_core::{decompose_styled, DecomposeStyle};
 use secflow_crypto::dpa_module::PAPER_KEY;
 use secflow_dpa::attack::mtd_scan;
@@ -27,6 +28,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = secflow_bench::parse_threads(&mut args);
     let obs = secflow_bench::parse_obs(&mut args);
+    let backend = secflow_bench::parse_sim_backend(&mut args);
     let mut args = args.into_iter();
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
@@ -112,13 +114,14 @@ fn main() {
     eprintln!("\nsimulating {n} encryptions against both layouts...");
     let cfg = paper_sim_config();
     let step = (n / 20).max(10);
-    let paper_set = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target(), &cfg, PAPER_KEY, n, seed));
+    let paper_set = secflow_bench::ok_or_exit(collect_des_traces(&imps.secure_target().with_backend(backend), &cfg, PAPER_KEY, n, seed));
     let naive_target = DesTarget {
         netlist: &sub.differential,
         lib: &sub.diff_lib,
         parasitics: Some(&naive_par),
         wddl_inputs: Some(&sub.input_pairs),
         glitch_free: false,
+        backend: SimBackend::Event,
     };
     let naive_set = secflow_bench::ok_or_exit(collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed));
 

@@ -10,7 +10,7 @@ use secflow_core::{
 };
 use secflow_crypto::dpa_module::des_dpa_design;
 use secflow_dpa::harness::DesTarget;
-use secflow_sim::SimConfig;
+use secflow_sim::{SimBackend, SimConfig};
 
 /// Exit code for failures in post-flow analysis (stats, attacks) that
 /// have no [`secflow_core::Stage`] of their own.
@@ -101,6 +101,7 @@ impl DesImplementations {
             parasitics: Some(&self.regular.parasitics),
             wddl_inputs: None,
             glitch_free: false,
+            backend: SimBackend::Event,
         }
     }
 
@@ -113,6 +114,7 @@ impl DesImplementations {
             parasitics: Some(&self.secure.parasitics),
             wddl_inputs: Some(&self.secure.substitution.input_pairs),
             glitch_free: false,
+            backend: SimBackend::Event,
         }
     }
 }
@@ -143,6 +145,30 @@ pub fn parse_threads(args: &mut Vec<String>) -> usize {
         }
     }
     secflow_exec::effective_threads()
+}
+
+/// Strips a `--sim-backend NAME` flag from `args` and returns the
+/// selected simulation kernel (default [`SimBackend::Event`]). Exits
+/// with status 2 on an unknown backend name. Like [`parse_threads`],
+/// leaves every other argument in place. Both backends produce
+/// byte-identical traces, so experiment stdout must not change with
+/// this flag (the CI gate compares it).
+pub fn parse_sim_backend(args: &mut Vec<String>) -> SimBackend {
+    let mut backend = SimBackend::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--sim-backend" {
+            let Some(b) = args.get(i + 1).and_then(|v| v.parse::<SimBackend>().ok()) else {
+                eprintln!("error: --sim-backend requires `event` or `bitslice`");
+                std::process::exit(2);
+            };
+            backend = b;
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    backend
 }
 
 /// Emits the experiment's run-info JSON line to **stderr** — stderr so

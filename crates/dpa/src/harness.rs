@@ -24,7 +24,10 @@ use secflow_exec::par_map_range_with;
 use secflow_extract::Parasitics;
 use secflow_netlist::{NetId, Netlist};
 use secflow_obs as obs;
-use secflow_sim::{add_gaussian_noise, CompiledSim, EngineScratch, LoadModel, SimConfig, SimError};
+use secflow_sim::{
+    add_gaussian_noise, BitScratch, BitSim, CompiledSim, EngineScratch, LoadModel, SimBackend,
+    SimConfig, SimError,
+};
 
 /// A simulated implementation of the DES DPA module.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +46,19 @@ pub struct DesTarget<'a> {
     /// Use the idealized glitch-free power model (single-ended targets
     /// only; used by the glitch-contribution ablation).
     pub glitch_free: bool,
+    /// Which simulation kernel runs the campaign windows. Both produce
+    /// byte-identical traces; `Bitslice` batches 64 windows per lane
+    /// word (see `tests/bitslice_cross_check.rs`).
+    pub backend: SimBackend,
+}
+
+impl<'a> DesTarget<'a> {
+    /// The same target on a different simulation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Collected measurement campaign.
@@ -140,6 +156,11 @@ pub fn collect_des_traces(
         noise_sigma: 0.0,
         ..cfg.clone()
     };
+    if target.backend == SimBackend::Bitslice {
+        let collected =
+            collect_des_traces_bitslice(target, cfg, &window_cfg, &load, key, &plaintexts)?;
+        return Ok(finish_campaign(collected, n, spc));
+    }
     let comp = CompiledSim::build(target.netlist, target.lib, &load, &window_cfg)?;
 
     // One work item per encryption. The datapath state feeding the
@@ -202,6 +223,14 @@ pub fn collect_des_traces(
         (trace, got, energy)
     });
 
+    Ok(finish_campaign(collected, n, spc))
+}
+
+fn finish_campaign(
+    collected: Vec<(Vec<f64>, (u8, u8), f64)>,
+    n: usize,
+    spc: usize,
+) -> TraceSet {
     let mut traces = Vec::with_capacity(n);
     let mut ciphertexts = Vec::with_capacity(n);
     let mut energies = Vec::with_capacity(n);
@@ -212,12 +241,126 @@ pub fn collect_des_traces(
     }
 
     obs::add(obs::Counter::DpaTraces, n as u64);
-    Ok(TraceSet {
+    TraceSet {
         traces,
         ciphertexts,
         energies,
         samples_per_trace: spc,
-    })
+    }
+}
+
+/// The same campaign through the bit-sliced kernel: windows of equal
+/// length are packed 64 per lane batch, each pool worker keeps one
+/// [`BitScratch`], and per-lane results are unpacked in encryption
+/// order — byte-identical to the event path at any thread count.
+fn collect_des_traces_bitslice(
+    target: &DesTarget<'_>,
+    cfg: &SimConfig,
+    window_cfg: &SimConfig,
+    load: &LoadModel,
+    key: u8,
+    plaintexts: &[(u8, u8)],
+) -> Result<Vec<(Vec<f64>, (u8, u8), f64)>, SimError> {
+    let n = plaintexts.len();
+    let sim = BitSim::build(target.netlist, target.lib, load, window_cfg)?;
+    // Batches share a window length: encryptions 0 (3 cycles) and 1
+    // (4 cycles) run alone against the reset boundary; the steady
+    // state (5 cycles) packs up to 64 encryptions per batch. The
+    // partition is a pure function of n, so batch-level obs counters
+    // are thread-count invariant.
+    let mut batches: Vec<(usize, usize)> = Vec::new();
+    let mut at = 0usize;
+    while at < n {
+        let count = if at < 2 { 1 } else { (n - at).min(64) };
+        batches.push((at, count));
+        at += count;
+    }
+    let per_batch = par_map_range_with(batches.len(), BitScratch::new, |scratch, bi| {
+        let (start, count) = batches[bi];
+        let h = start.min(2);
+        let active = if count == 64 { !0u64 } else { (1u64 << count) - 1 };
+        let key_word = |b: usize| if key >> b & 1 == 1 { active } else { 0 };
+        // One packed word per input per cycle: bit l is lane l's value
+        // of that input (port order pl[0..4], pr[0..6], k[0..6]).
+        let mut vectors: Vec<Vec<u64>> = Vec::with_capacity(h + 3);
+        for j in 0..=h {
+            let mut words = vec![0u64; 16];
+            for l in 0..count {
+                let (pl, pr) = plaintexts[start + l - h + j];
+                for b in 0..4 {
+                    if pl >> b & 1 == 1 {
+                        words[b] |= 1 << l;
+                    }
+                }
+                for b in 0..6 {
+                    if pr >> b & 1 == 1 {
+                        words[4 + b] |= 1 << l;
+                    }
+                }
+            }
+            for b in 0..6 {
+                words[10 + b] = key_word(b);
+            }
+            vectors.push(words);
+        }
+        // Flush cycles: plaintext zero, key held.
+        for _ in 0..2 {
+            let mut words = vec![0u64; 16];
+            for b in 0..6 {
+                words[10 + b] = key_word(b);
+            }
+            vectors.push(words);
+        }
+
+        match (target.wddl_inputs, target.glitch_free) {
+            (Some(pairs), _) => sim.run_wddl(scratch, pairs, &vectors, active),
+            (None, false) => sim.run_single_ended(scratch, &vectors, active),
+            (None, true) => sim.run_single_ended_glitch_free(scratch, &vectors, active),
+        }
+
+        // Batch-level kernel counters: pure functions of the compiled
+        // design and this batch's stimuli (pinned by
+        // tests/obs_counters.rs).
+        if obs::enabled() {
+            obs::add(obs::Counter::SimBitsliceBatches, 1);
+            obs::add(obs::Counter::SimBitsliceLanes, count as u64);
+            obs::add(obs::Counter::SimBitsliceEvents, scratch.events_processed());
+            obs::add(obs::Counter::SimBitsliceEvals, scratch.gate_evals());
+            obs::add(obs::Counter::SimBitsliceRises, scratch.total_rises());
+            obs::gauge_max(obs::Gauge::SimBitsliceWheelPeak, scratch.wheel_peak());
+        }
+
+        let leak_cycle = h + 1;
+        let mut out = Vec::with_capacity(count);
+        for l in 0..count {
+            let i = start + l;
+            let mut trace = scratch.cycle_trace(leak_cycle, l);
+            if cfg.noise_sigma > 0.0 {
+                add_gaussian_noise(
+                    &mut trace,
+                    cfg.noise_sigma,
+                    split_seed(cfg.noise_seed, i as u64),
+                );
+            }
+            let energy = scratch.cycle_energy_fj(leak_cycle, l);
+            let bit = |j: usize| match target.wddl_inputs {
+                Some(_) => scratch.output_bit(leak_cycle + 1, 2 * j, l),
+                None => scratch.output_bit(leak_cycle + 1, j, l),
+            };
+            let cl = (0..4).fold(0u8, |a, j| a | ((bit(j) as u8) << j));
+            let cr = (0..6).fold(0u8, |a, j| a | ((bit(4 + j) as u8) << j));
+            let (pl, pr) = plaintexts[i];
+            let expect = encrypt(pl, pr, key);
+            assert_eq!(
+                (cl, cr),
+                expect,
+                "simulated ciphertext disagrees with the model at encryption {i}"
+            );
+            out.push((trace, (cl, cr), energy));
+        }
+        out
+    });
+    Ok(per_batch.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -237,6 +380,7 @@ mod tests {
             parasitics: None,
             wddl_inputs: None,
             glitch_free: false,
+            backend: SimBackend::Event,
         };
         let cfg = SimConfig {
             samples_per_cycle: 100,
@@ -262,6 +406,7 @@ mod tests {
             parasitics: None,
             wddl_inputs: None,
             glitch_free: false,
+            backend: SimBackend::Event,
         };
         let cfg = SimConfig {
             samples_per_cycle: 50,

@@ -8,7 +8,7 @@ use secflow_cells::Library;
 use secflow_crypto::dpa_module::des_dpa_design;
 use secflow_dpa::harness::{collect_des_traces, DesTarget};
 use secflow_rand::{RngExt, SeedableRng, StdRng};
-use secflow_sim::{simulate_single_ended, SimConfig};
+use secflow_sim::{simulate_single_ended, SimBackend, SimConfig};
 use secflow_synth::{map_design, MapOptions};
 
 #[test]
@@ -29,6 +29,7 @@ fn window_traces_match_full_campaign() {
         parasitics: None,
         wddl_inputs: None,
         glitch_free: false,
+        backend: SimBackend::Event,
     };
     let set = collect_des_traces(&target, &cfg, key, n, seed).unwrap();
 

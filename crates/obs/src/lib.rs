@@ -78,6 +78,16 @@ pub enum Counter {
     SimEvals,
     /// 0→1 output transitions recorded (the power model's currency).
     SimRises,
+    /// Lane batches executed by the bit-sliced kernel.
+    SimBitsliceBatches,
+    /// Live lanes across those batches (= windows simulated).
+    SimBitsliceLanes,
+    /// Masked timing-wheel events drained by the bit-sliced kernel.
+    SimBitsliceEvents,
+    /// Masked gate-word evaluations in the bit-sliced kernel.
+    SimBitsliceEvals,
+    /// Per-lane rising transitions recorded by the bit-sliced kernel.
+    SimBitsliceRises,
     /// Power traces collected across DPA/CPA campaigns.
     DpaTraces,
     /// Key guesses evaluated by DPA/CPA attacks.
@@ -119,11 +129,16 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 28] = [
         Counter::SimWindows,
         Counter::SimEvents,
         Counter::SimEvals,
         Counter::SimRises,
+        Counter::SimBitsliceBatches,
+        Counter::SimBitsliceLanes,
+        Counter::SimBitsliceEvents,
+        Counter::SimBitsliceEvals,
+        Counter::SimBitsliceRises,
         Counter::DpaTraces,
         Counter::DpaGuesses,
         Counter::PlaceMoves,
@@ -152,6 +167,11 @@ impl Counter {
             Counter::SimEvents => "sim.events",
             Counter::SimEvals => "sim.evals",
             Counter::SimRises => "sim.rises",
+            Counter::SimBitsliceBatches => "sim.bitslice.batches",
+            Counter::SimBitsliceLanes => "sim.bitslice.lanes",
+            Counter::SimBitsliceEvents => "sim.bitslice.events",
+            Counter::SimBitsliceEvals => "sim.bitslice.evals",
+            Counter::SimBitsliceRises => "sim.bitslice.rises",
             Counter::DpaTraces => "dpa.traces",
             Counter::DpaGuesses => "dpa.guesses",
             Counter::PlaceMoves => "place.moves",
@@ -183,6 +203,8 @@ const N_COUNTERS: usize = Counter::ALL.len();
 pub enum Gauge {
     /// Peak simultaneous pending events on any timing wheel.
     SimWheelPeak,
+    /// Peak simultaneous pending masked events on any bit-sliced wheel.
+    SimBitsliceWheelPeak,
     /// Largest parallel region (item count) seen by the exec pool.
     ExecRegionPeakItems,
     /// Peak BDD node count during equivalence checking.
@@ -190,8 +212,9 @@ pub enum Gauge {
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::SimWheelPeak,
+        Gauge::SimBitsliceWheelPeak,
         Gauge::ExecRegionPeakItems,
         Gauge::LecBddPeakNodes,
     ];
@@ -200,6 +223,7 @@ impl Gauge {
     pub fn name(self) -> &'static str {
         match self {
             Gauge::SimWheelPeak => "sim.wheel_peak",
+            Gauge::SimBitsliceWheelPeak => "sim.bitslice.wheel_peak",
             Gauge::ExecRegionPeakItems => "exec.region_peak_items",
             Gauge::LecBddPeakNodes => "lec.bdd_peak_nodes",
         }

@@ -18,6 +18,14 @@ pub enum SimError {
         /// Module name of the offending netlist.
         netlist: String,
     },
+    /// The requested configuration is not supported by the selected
+    /// simulation backend.
+    UnsupportedConfig {
+        /// The backend that rejected the configuration.
+        backend: String,
+        /// What is unsupported, and which backend to use instead.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +36,9 @@ impl fmt::Display for SimError {
             }
             SimError::CombinationalCycle { netlist } => {
                 write!(f, "netlist `{netlist}` has a combinational cycle")
+            }
+            SimError::UnsupportedConfig { backend, detail } => {
+                write!(f, "sim backend `{backend}` does not support this config: {detail}")
             }
         }
     }

@@ -29,6 +29,7 @@
 //! and performs zero heap allocations per steady-state window, while
 //! staying byte-identical to the one-shot `simulate_*` drivers.
 
+pub mod bitslice;
 pub mod compiled;
 mod config;
 mod drivers;
@@ -40,6 +41,7 @@ mod noise;
 pub mod sta;
 pub mod vcd;
 
+pub use bitslice::{BitScratch, BitSim, SimBackend};
 pub use compiled::{CompiledSim, EngineScratch};
 pub use config::SimConfig;
 pub use drivers::{

@@ -12,7 +12,7 @@ use secflow::crypto::dpa_module::{des_dpa_design, PAPER_KEY};
 use secflow::dpa::attack::mtd_scan;
 use secflow::dpa::harness::{collect_des_traces, DesTarget};
 use secflow::flow::{run_regular_flow, run_secure_flow, FlowOptions};
-use secflow::sim::SimConfig;
+use secflow::sim::{SimBackend, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: usize = std::env::args()
@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 parasitics: Some(&regular.parasitics),
                 wddl_inputs: None,
                 glitch_free: false,
+                backend: SimBackend::Event,
             },
         ),
         (
@@ -51,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 parasitics: Some(&secure.parasitics),
                 wddl_inputs: Some(&secure.substitution.input_pairs),
                 glitch_free: false,
+                backend: SimBackend::Event,
             },
         ),
     ] {

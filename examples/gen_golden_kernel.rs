@@ -20,7 +20,7 @@ use secflow::cells::Library;
 use secflow::crypto::dpa_module::des_dpa_design;
 use secflow::dpa::harness::{collect_des_traces, DesTarget, TraceSet};
 use secflow::flow::substitute;
-use secflow::sim::SimConfig;
+use secflow::sim::{SimBackend, SimConfig};
 use secflow::synth::{map_design, MapOptions};
 
 fn render(set: &TraceSet) -> String {
@@ -53,6 +53,7 @@ fn main() {
             parasitics: None,
             wddl_inputs: None,
             glitch_free: false,
+            backend: SimBackend::Event,
         },
         &cfg,
         46,
@@ -67,6 +68,7 @@ fn main() {
             parasitics: None,
             wddl_inputs: Some(&sub.input_pairs),
             glitch_free: false,
+            backend: SimBackend::Event,
         },
         &cfg,
         46,

@@ -31,8 +31,18 @@ cargo run --release --offline -p secflow-bench --bin exp_fig3_decompose -- \
 python3 scripts/obs_schema_check.py --compare "$tmp/plain.out" "$tmp/obs.out"
 python3 scripts/obs_schema_check.py "$tmp/obs.json"
 
+echo "== tier-1: sim-backend stdout byte-identity (Fig. 6 smoke, event vs bitslice) =="
+cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke \
+    --sim-backend event > "$tmp/event.out"
+cargo run --release --offline -p secflow-bench --bin exp_fig6_mtd -- --smoke \
+    --sim-backend bitslice > "$tmp/bitslice.out"
+cmp "$tmp/event.out" "$tmp/bitslice.out"
+
 echo "== tier-1: compiled-kernel bench smoke (baseline bit-equality self-check) =="
 cargo bench --offline -p secflow-bench --bench flow_stages -- sim_kernel --smoke
+
+echo "== tier-1: bit-sliced kernel bench smoke (event-kernel bit-equality self-check) =="
+cargo bench --offline -p secflow-bench --bench flow_stages -- sim_bitslice --smoke
 
 echo "== tier-1: observability overhead smoke (noop bound < 1%) =="
 cargo bench --offline -p secflow-bench --bench flow_stages -- obs_overhead --smoke

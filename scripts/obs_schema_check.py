@@ -27,6 +27,8 @@ SCHEMA = "secflow-obs/1"
 
 COUNTERS = [
     "sim.windows", "sim.events", "sim.evals", "sim.rises",
+    "sim.bitslice.batches", "sim.bitslice.lanes", "sim.bitslice.events",
+    "sim.bitslice.evals", "sim.bitslice.rises",
     "dpa.traces", "dpa.guesses",
     "place.moves", "place.accepted", "place.restarts",
     "route.nets", "route.ripups", "route.iterations",
@@ -37,7 +39,10 @@ COUNTERS = [
     "exec.regions", "exec.chunks", "exec.items",
 ]
 
-GAUGES = ["sim.wheel_peak", "exec.region_peak_items", "lec.bdd_peak_nodes"]
+GAUGES = [
+    "sim.wheel_peak", "sim.bitslice.wheel_peak",
+    "exec.region_peak_items", "lec.bdd_peak_nodes",
+]
 
 STAGES = [
     "parse", "synth", "substitute", "place", "route",

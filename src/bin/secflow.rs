@@ -23,7 +23,9 @@
 //! cores), `--restarts <n>` (independent placement-annealing
 //! restarts, best HPWL wins), `--obs <path>` (write observability
 //! metrics JSON there plus a chrome-trace next to it; `SECFLOW_OBS`
-//! sets the same path from the environment).
+//! sets the same path from the environment), `--sim-backend
+//! event|bitslice` (simulation kernel for downstream trace campaigns;
+//! both are byte-identical).
 
 use std::fs;
 use std::path::PathBuf;
@@ -57,7 +59,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: secflow <rtl.v> [--secure|--regular] [--out DIR] [--fill F] [--aspect R]\n\
          \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]\n\
-         \x20              [--threads N] [--restarts N] [--obs PATH]"
+         \x20              [--threads N] [--restarts N] [--obs PATH]\n\
+         \x20              [--sim-backend event|bitslice]"
     );
     std::process::exit(2)
 }
@@ -110,6 +113,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--sim-backend" => {
+                opts.sim_backend = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "--obs" => obs = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),

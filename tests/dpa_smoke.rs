@@ -13,7 +13,7 @@ use secflow::dpa::stats::EnergyStats;
 use secflow::flow::{
     run_regular_flow, run_secure_flow, FlowOptions, RegularFlowResult, SecureFlowResult,
 };
-use secflow::sim::SimConfig;
+use secflow::sim::{SimBackend, SimConfig};
 
 const N_TRACES: usize = 250;
 const SEED: u64 = 11;
@@ -60,6 +60,7 @@ fn regular_traces(n: usize, seed: u64) -> TraceSet {
             parasitics: Some(&f.regular.parasitics),
             wddl_inputs: None,
             glitch_free: false,
+            backend: SimBackend::Event,
         },
         &sim_config(),
         PAPER_KEY,
@@ -78,6 +79,7 @@ fn secure_traces(n: usize, seed: u64) -> TraceSet {
             parasitics: Some(&f.secure.parasitics),
             wddl_inputs: Some(&f.secure.substitution.input_pairs),
             glitch_free: false,
+            backend: SimBackend::Event,
         },
         &sim_config(),
         PAPER_KEY,

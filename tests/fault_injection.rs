@@ -17,7 +17,7 @@ use secflow::netlist::{parse_verilog, GateKind, Netlist, NetlistError};
 use secflow::pnr::{
     place, route, GridPitch, PlaceError, PlaceOptions, RouteError, RouteOptions,
 };
-use secflow::sim::{simulate_single_ended, SimConfig, SimError};
+use secflow::sim::{simulate_single_ended, BitSim, LoadModel, SimConfig, SimError};
 use secflow::synth::{map_design, Design, MapError, MapOptions};
 use secflow_testkit::fault;
 
@@ -231,6 +231,35 @@ fn run_battery() {
         matches!(&e, SimError::UnknownCell { cell, .. } if cell == "NOT_A_CELL"),
         "{e:?}"
     );
+    assert_flow_error(e, Stage::Sim);
+
+    // The bit-sliced backend goes through the same load/compile
+    // pipeline and must surface identical typed errors.
+    let bit_build = |nl: &Netlist| {
+        LoadModel::try_build(nl, &lib, None)
+            .and_then(|load| BitSim::build(nl, &lib, &load, &cfg).map(|_| ()))
+    };
+    let e = bit_build(&fault::combinational_loop_netlist())
+        .expect_err("cyclic netlist must not compile for bitslice");
+    assert!(matches!(e, SimError::CombinationalCycle { .. }), "{e:?}");
+    assert_flow_error(e, Stage::Sim);
+    let e = bit_build(&fault::unknown_cell_netlist())
+        .expect_err("unknown cell must not compile for bitslice");
+    assert!(
+        matches!(&e, SimError::UnknownCell { cell, .. } if cell == "NOT_A_CELL"),
+        "{e:?}"
+    );
+    assert_flow_error(e, Stage::Sim);
+    // Waveform capture is an event-backend feature; the bitslice build
+    // refuses it with a typed error rather than silently ignoring it.
+    let nl = small_netlist();
+    let wave_cfg = SimConfig {
+        record_waveform: true,
+        ..cfg.clone()
+    };
+    let load = LoadModel::try_build(&nl, &lib, None).expect("valid load");
+    let e = BitSim::build(&nl, &lib, &load, &wave_cfg).expect_err("waveform must be refused");
+    assert!(matches!(e, SimError::UnsupportedConfig { .. }), "{e:?}");
     assert_flow_error(e, Stage::Sim);
 }
 

@@ -17,7 +17,7 @@ use secflow::dpa::harness::{collect_des_traces, DesTarget};
 use secflow::flow::{run_secure_flow, FlowOptions};
 use secflow::netlist::Netlist;
 use secflow::obs::{self, Counter, Gauge};
-use secflow::sim::SimConfig;
+use secflow::sim::{SimBackend, SimConfig};
 use secflow::synth::{map_design, MapOptions};
 
 const N_TRACES: usize = 24;
@@ -33,6 +33,17 @@ const GOLD_EVALS: u64 = 18956;
 const GOLD_RISES: u64 = 5508;
 const GOLD_WHEEL_PEAK: u64 = 36;
 
+// Golden `sim.bitslice.*` counters for the same campaign through the
+// bit-sliced kernel. The batch partition is a pure function of the
+// campaign size ([0], [1], then 64-lane chunks), so these are
+// thread-count invariant like the scalar kernel's.
+const GOLD_BS_BATCHES: u64 = 3;
+const GOLD_BS_LANES: u64 = 24;
+const GOLD_BS_EVENTS: u64 = 5889;
+const GOLD_BS_EVALS: u64 = 6954;
+const GOLD_BS_RISES: u64 = 5508;
+const GOLD_BS_WHEEL_PEAK: u64 = 84;
+
 fn fixture() -> &'static (Library, Netlist) {
     static CELL: OnceLock<(Library, Netlist)> = OnceLock::new();
     CELL.get_or_init(|| {
@@ -43,7 +54,7 @@ fn fixture() -> &'static (Library, Netlist) {
     })
 }
 
-fn campaign_report(threads: usize) -> obs::Report {
+fn campaign_report_on(threads: usize, backend: SimBackend) -> obs::Report {
     let (lib, nl) = fixture();
     let cfg = SimConfig {
         samples_per_cycle: 100,
@@ -55,6 +66,7 @@ fn campaign_report(threads: usize) -> obs::Report {
         parasitics: None,
         wddl_inputs: None,
         glitch_free: false,
+        backend,
     };
     let ((), report) = secflow::exec::with_threads(threads, || {
         obs::capture(|| {
@@ -62,6 +74,10 @@ fn campaign_report(threads: usize) -> obs::Report {
         })
     });
     report
+}
+
+fn campaign_report(threads: usize) -> obs::Report {
+    campaign_report_on(threads, SimBackend::Event)
 }
 
 #[test]
@@ -89,6 +105,61 @@ fn kernel_counters_match_golden_at_1_2_and_8_threads() {
                 "{name} at {threads} threads: got {got}, golden {want}"
             );
         }
+    }
+}
+
+/// The bit-sliced kernel's counters are pinned the same way: batch
+/// partition and per-batch work are pure functions of (design,
+/// stimulus), so campaign sums cannot depend on the thread count. The
+/// per-lane rise total must equal the scalar kernel's exactly — same
+/// transitions, different packing.
+#[test]
+fn bitslice_counters_match_golden_at_1_2_and_8_threads() {
+    for threads in [1usize, 2, 8] {
+        let r = campaign_report_on(threads, SimBackend::Bitslice);
+        let actual = [
+            (
+                "sim.bitslice.batches",
+                r.counter(Counter::SimBitsliceBatches),
+                GOLD_BS_BATCHES,
+            ),
+            (
+                "sim.bitslice.lanes",
+                r.counter(Counter::SimBitsliceLanes),
+                GOLD_BS_LANES,
+            ),
+            (
+                "sim.bitslice.events",
+                r.counter(Counter::SimBitsliceEvents),
+                GOLD_BS_EVENTS,
+            ),
+            (
+                "sim.bitslice.evals",
+                r.counter(Counter::SimBitsliceEvals),
+                GOLD_BS_EVALS,
+            ),
+            (
+                "sim.bitslice.rises",
+                r.counter(Counter::SimBitsliceRises),
+                GOLD_BS_RISES,
+            ),
+            (
+                "sim.bitslice.wheel_peak",
+                r.gauge(Gauge::SimBitsliceWheelPeak),
+                GOLD_BS_WHEEL_PEAK,
+            ),
+            ("dpa.traces", r.counter(Counter::DpaTraces), N_TRACES as u64),
+        ];
+        eprintln!("bitslice golden actuals at {threads} threads: {actual:?}");
+        for (name, got, want) in actual {
+            assert_eq!(
+                got, want,
+                "{name} at {threads} threads: got {got}, golden {want}"
+            );
+        }
+        // The scalar kernel's counters must stay silent on this path.
+        assert_eq!(r.counter(Counter::SimWindows), 0);
+        assert_eq!(r.counter(Counter::SimEvents), 0);
     }
 }
 
