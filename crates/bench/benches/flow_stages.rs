@@ -541,6 +541,86 @@ fn bench_obs_overhead(filter: &str, smoke: bool) {
     }
 }
 
+/// Warm-vs-cold latency of the persistent job server's
+/// content-addressed cache (`secflow-serve`), on the fig6 smoke
+/// campaign (secure DES implementation, DPA, 150 traces). The cold
+/// submission executes the whole map → substitute → place → route →
+/// decompose → extract → compile → simulate → attack pipeline; the
+/// warm resubmission of the *same* request is answered from the
+/// response cache. The payloads must be byte-identical — the speedup
+/// is only meaningful if the cache returns exactly what the pipeline
+/// would. Results go to `results/BENCH_serve_cache.json`; the warm
+/// path must be at least 5× faster. `--smoke` shrinks the campaign
+/// and skips the JSON.
+fn bench_serve_cache(filter: &str, smoke: bool) {
+    if !"serve_cache".contains(filter) {
+        return;
+    }
+    use secflow_serve::{proto::canonical_json, Engine, Request, Value};
+
+    let n = if smoke { 8 } else { 150 };
+    let tuning = if smoke {
+        r#","options":{"anneal_moves_per_gate":4,"verify":false},"sim":{"samples_per_cycle":40}"#
+    } else {
+        ""
+    };
+    let req_text =
+        format!(r#"{{"job":"campaign","attack":"dpa","n":{n},"seed":1,"key":46{tuning}}}"#);
+    let request = Request::parse(req_text.as_bytes()).expect("request parses");
+    let canonical = canonical_json(&Value::parse(&req_text).expect("request is JSON"));
+    let engine = Engine::new(256 << 20, None);
+
+    let t = std::time::Instant::now();
+    let cold = engine.execute(&canonical, &request).expect("cold job");
+    let cold_ns = t.elapsed().as_nanos();
+    assert!(!cold.cached_response, "first submission must miss");
+    let cold_m = Measurement {
+        name: "serve_cache/cold_campaign".to_string(),
+        runs_ns: vec![cold_ns],
+        median_ns: cold_ns,
+        min_ns: cold_ns,
+        max_ns: cold_ns,
+    };
+
+    // One warm run up front pins the contract the speedup rests on:
+    // the resubmission is served from cache, byte-identical.
+    let warm = engine.execute(&canonical, &request).expect("warm job");
+    assert!(warm.cached_response, "resubmission must hit the cache");
+    assert_eq!(
+        cold.payload, warm.payload,
+        "cached payload must be byte-identical to the cold run"
+    );
+
+    let k = if smoke { 1 } else { K };
+    let warm_m = time_median("serve_cache/warm_resubmission", k, || {
+        let out = engine.execute(&canonical, &request).expect("warm job");
+        assert!(out.cached_response);
+        black_box(out);
+    });
+    println!("{}", cold_m.json_line());
+    println!("{}", warm_m.json_line());
+    let speedup = cold_ns as f64 / warm_m.median_ns as f64;
+    let json = format!(
+        "{{\"bench\":\"serve_cache\",\"n_traces\":{n},\
+         \"cold_ns\":{cold_ns},\"warm_median_ns\":{},\
+         \"speedup\":{speedup:.1},\"byte_identical\":true,\"k\":{k}}}",
+        warm_m.median_ns
+    );
+    println!("{json}");
+    if smoke {
+        return;
+    }
+    assert!(
+        speedup >= 5.0,
+        "warm cache must be at least 5x faster (got {speedup:.1}x)"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_serve_cache.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench -- <substring>` runs only matching groups; the
     // harness also swallows libtest-style flags cargo may pass.
@@ -549,7 +629,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    const GROUPS: [&str; 10] = [
+    const GROUPS: [&str; 11] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
@@ -560,6 +640,7 @@ fn main() {
         "sim_kernel",
         "sim_bitslice",
         "obs_overhead",
+        "serve_cache",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
         eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
@@ -575,4 +656,5 @@ fn main() {
     bench_sim_kernel(&filter, smoke);
     bench_sim_bitslice(&filter, smoke);
     bench_obs_overhead(&filter, smoke);
+    bench_serve_cache(&filter, smoke);
 }

@@ -15,15 +15,12 @@ use secflow_dpa::cpa::{cpa_mtd_scan, sbox_hamming_model, sbox_hd_model};
 use secflow_dpa::harness::collect_des_traces;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let backend = secflow_bench::parse_sim_backend(&mut args);
-    let mut args = args.into_iter();
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2500);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let backend = opts.backend;
+    let n: usize = opts.args.first().and_then(|a| a.parse().ok()).unwrap_or(2500);
+    let seed: u64 = opts.args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
     let step = (n / 40).max(10);
-    let _run = secflow_bench::start_run("exp_cpa", threads, obs);
+    let _run = opts.start_run("exp_cpa");
 
     eprintln!("building both implementations through the flows...");
     let imps = build_des_implementations();

@@ -15,13 +15,10 @@ use secflow_bench::{build_des_implementations, paper_sim_config};
 use secflow_dpa::dfa::glitch_sweep;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let mut args = args.into_iter();
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
-    let _run = secflow_bench::start_run("exp_dfa_glitch", threads, obs);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let n: usize = opts.args.first().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let seed: u64 = opts.args.get(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let _run = opts.start_run("exp_dfa_glitch");
 
     eprintln!("building the secure implementation...");
     let imps = build_des_implementations();

@@ -15,10 +15,8 @@ use secflow_cells::TRACK_UM;
 use secflow_dpa::ema::{layout_field, pair_discrimination};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let _run = secflow_bench::start_run("exp_ema_probe", threads, obs);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let _run = opts.start_run("exp_ema_probe");
     println!("=== E10: EM discrimination of differential pairs (§4.2, Fig. 7) ===\n");
     println!("relative field difference |B_railA - B_railB| / B_avg");
     println!(

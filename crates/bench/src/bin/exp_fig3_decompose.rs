@@ -80,10 +80,8 @@ fn render(design: &RoutedDesign, layer: u8, max_w: i32, max_h: i32) -> String {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let _run = secflow_bench::start_run("exp_fig3_decompose", threads, obs);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let _run = opts.start_run("exp_fig3_decompose");
     let nl = six_gate_design();
     let lib = Library::lib180();
     let sub = substitute(&nl, &lib).expect("substitution");

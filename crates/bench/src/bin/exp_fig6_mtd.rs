@@ -21,21 +21,18 @@ use secflow_dpa::attack::{dpa_attack, mtd_scan};
 use secflow_dpa::harness::collect_des_traces;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let backend = secflow_bench::parse_sim_backend(&mut args);
-    let smoke = args.iter().any(|a| a == "--smoke");
-    args.retain(|a| a != "--smoke");
-    let mut args = args.into_iter();
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let backend = opts.backend;
+    let smoke = opts.take_flag("--smoke");
     let default_n = if smoke { 150 } else { 2000 };
-    let n: usize = args
-        .next()
+    let n: usize = opts
+        .args
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(default_n);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let seed: u64 = opts.args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
     let step = (n / 40).max(10);
-    let _run = secflow_bench::start_run("exp_fig6_mtd", threads, obs);
+    let _run = opts.start_run("exp_fig6_mtd");
 
     eprintln!("building both implementations through the flows...");
     let imps = build_des_implementations();

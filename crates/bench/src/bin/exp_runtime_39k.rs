@@ -71,13 +71,14 @@ fn synthetic_routes(
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let mut args = args.into_iter();
-    let target: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(72_000);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
-    let _run = secflow_bench::start_run("exp_runtime_39k", threads, obs);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let target: usize = opts
+        .args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(72_000);
+    let seed: u64 = opts.args.get(1).and_then(|a| a.parse().ok()).unwrap_or(7);
+    let _run = opts.start_run("exp_runtime_39k");
 
     println!("=== E8: flow-insertion runtime at the paper's 39 K-gate scale ===");
     eprintln!("generating and mapping the synthetic design...");

@@ -18,13 +18,10 @@ use secflow_dpa::timing::{idle_classification_accuracy, idle_visibility};
 use secflow_sim::{simulate_single_ended, simulate_wddl};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = secflow_bench::parse_threads(&mut args);
-    let obs = secflow_bench::parse_obs(&mut args);
-    let mut args = args.into_iter();
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
-    let _run = secflow_bench::start_run("exp_timing_idle", threads, obs);
+    let mut opts = secflow_bench::CommonOpts::parse();
+    let n: usize = opts.args.first().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let seed: u64 = opts.args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let _run = opts.start_run("exp_timing_idle");
 
     eprintln!("building both implementations through the flows...");
     let imps = build_des_implementations();

@@ -209,6 +209,65 @@ pub fn parse_obs(args: &mut Vec<String>) -> Option<std::path::PathBuf> {
     })
 }
 
+/// The options every experiment binary shares — `--threads N`,
+/// `--obs PATH`, `--sim-backend NAME` — parsed in one pass, plus the
+/// remaining (positional) arguments. This is the single entry point
+/// the ten `exp_*` binaries use, so a new shared flag is added here
+/// once rather than ten times:
+///
+/// ```no_run
+/// let mut opts = secflow_bench::CommonOpts::parse();
+/// let smoke = opts.take_flag("--smoke");
+/// let n: usize = opts.args.first().and_then(|a| a.parse().ok()).unwrap_or(2000);
+/// let _run = opts.start_run("exp_example");
+/// ```
+pub struct CommonOpts {
+    /// Effective worker-thread count (already applied to the pool).
+    pub threads: usize,
+    /// Metrics output path from `--obs` / `SECFLOW_OBS`, if any.
+    /// Consumed by [`CommonOpts::start_run`].
+    pub obs: Option<std::path::PathBuf>,
+    /// Selected simulation kernel (default [`SimBackend::Event`]).
+    pub backend: SimBackend,
+    /// Arguments left over after the shared flags were stripped, in
+    /// their original order — positional parsing proceeds on these.
+    pub args: Vec<String>,
+}
+
+impl CommonOpts {
+    /// Parses the shared flags out of `std::env::args()`. Exits with
+    /// status 2 on a malformed value, before any run-info line is
+    /// emitted.
+    pub fn parse() -> CommonOpts {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let threads = parse_threads(&mut args);
+        let obs = parse_obs(&mut args);
+        let backend = parse_sim_backend(&mut args);
+        CommonOpts {
+            threads,
+            obs,
+            backend,
+            args,
+        }
+    }
+
+    /// Strips every occurrence of a boolean flag (e.g. `--smoke`) from
+    /// the remaining arguments; returns whether it was present.
+    pub fn take_flag(&mut self, name: &str) -> bool {
+        let present = self.args.iter().any(|a| a == name);
+        self.args.retain(|a| a != name);
+        present
+    }
+
+    /// Emits the run-info line and arms observability — call once all
+    /// experiment-specific parsing has succeeded. Equivalent to
+    /// [`start_run`] with this struct's fields; the obs path is
+    /// consumed.
+    pub fn start_run(&mut self, exp: &'static str) -> RunInfo {
+        start_run(exp, self.threads, self.obs.take())
+    }
+}
+
 /// RAII guard for one experiment run: emits the run-info line and, if
 /// an observability path was requested, starts the session. On drop it
 /// finishes the session and writes the metrics JSON plus the chrome

@@ -61,6 +61,68 @@ impl<'a> DesTarget<'a> {
     }
 }
 
+/// A campaign-ready compiled simulation program: the target netlist
+/// compiled once for its backend (cell resolution, fanout adjacency,
+/// loads, topological order), reusable across any number of
+/// campaigns. Building it is the expensive, stimuli-independent half
+/// of [`collect_des_traces`]; the program is immutable and `Sync`, so
+/// a job server can cache it behind an `Arc` and share it between
+/// concurrent campaigns that differ only in stimuli and seeds.
+#[derive(Debug)]
+pub enum CampaignProgram {
+    /// Compiled event-driven kernel (one window at a time).
+    Event(CompiledSim),
+    /// Bit-sliced oblivious kernel (up to 64 windows per batch).
+    Bitslice(BitSim),
+}
+
+impl CampaignProgram {
+    /// Compiles `target` for campaign simulation. Windows are
+    /// simulated noise-free (measurement noise is applied per trace
+    /// from its own stream), so the program is built against a
+    /// zero-noise copy of `cfg`.
+    ///
+    /// The backend/config combination is validated *first*
+    /// ([`SimConfig::validate_backend`]), so an unsupported request —
+    /// e.g. `record_waveform` on the bit-sliced backend — fails with
+    /// its typed error before any compilation work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if validation fails, the target netlist is
+    /// cyclic, or it references cells missing from its library.
+    pub fn build(target: &DesTarget<'_>, cfg: &SimConfig) -> Result<CampaignProgram, SimError> {
+        cfg.validate_backend(target.backend)?;
+        let load = LoadModel::try_build(target.netlist, target.lib, target.parasitics)?;
+        let window_cfg = SimConfig {
+            noise_sigma: 0.0,
+            ..cfg.clone()
+        };
+        Ok(match target.backend {
+            SimBackend::Event => CampaignProgram::Event(CompiledSim::build(
+                target.netlist,
+                target.lib,
+                &load,
+                &window_cfg,
+            )?),
+            SimBackend::Bitslice => CampaignProgram::Bitslice(BitSim::build(
+                target.netlist,
+                target.lib,
+                &load,
+                &window_cfg,
+            )?),
+        })
+    }
+
+    /// The backend this program was compiled for.
+    pub fn backend(&self) -> SimBackend {
+        match self {
+            CampaignProgram::Event(_) => SimBackend::Event,
+            CampaignProgram::Bitslice(_) => SimBackend::Bitslice,
+        }
+    }
+}
+
 /// Collected measurement campaign.
 #[derive(Debug, Clone)]
 pub struct TraceSet {
@@ -109,7 +171,35 @@ pub fn collect_des_traces(
     n: usize,
     seed: u64,
 ) -> Result<TraceSet, SimError> {
+    let program = CampaignProgram::build(target, cfg)?;
+    collect_des_traces_with(&program, target, cfg, key, n, seed)
+}
+
+/// [`collect_des_traces`] against an already-compiled program —
+/// the campaign half of the compile/run split. `program` must have
+/// been built from this `target` (same netlist, library, parasitics
+/// and backend); `cfg` supplies the per-trace noise parameters, which
+/// are not baked into the program.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if `cfg` requests a feature `program`'s
+/// backend does not support.
+///
+/// # Panics
+///
+/// Panics if `key >= 64` (caller contract), or if the simulated
+/// hardware disagrees with the reference model.
+pub fn collect_des_traces_with(
+    program: &CampaignProgram,
+    target: &DesTarget<'_>,
+    cfg: &SimConfig,
+    key: u8,
+    n: usize,
+    seed: u64,
+) -> Result<TraceSet, SimError> {
     assert!(key < 64);
+    cfg.validate_backend(program.backend())?;
     let _campaign = obs::span("dpa.campaign");
     // Plaintexts are drawn sequentially up front — cheap, and it keeps
     // the campaign identical to the serial harness for a given seed.
@@ -146,22 +236,18 @@ pub fn collect_des_traces(
         (cl, cr)
     };
 
-    // Compiled once, shared read-only across every window simulation:
-    // cell resolution, fanout adjacency, loads and the topological
-    // order all happen here instead of per window. Windows are
-    // simulated noise-free; measurement noise is applied per trace
-    // below from its own (noise_seed, i) stream.
-    let load = LoadModel::try_build(target.netlist, target.lib, target.parasitics)?;
-    let window_cfg = SimConfig {
-        noise_sigma: 0.0,
-        ..cfg.clone()
+    // The program was compiled once (cell resolution, fanout
+    // adjacency, loads and topological order) and is shared read-only
+    // across every window simulation. Windows run noise-free;
+    // measurement noise is applied per trace below from its own
+    // (noise_seed, i) stream.
+    let comp = match program {
+        CampaignProgram::Bitslice(sim) => {
+            let collected = collect_des_traces_bitslice(sim, target, cfg, key, &plaintexts);
+            return Ok(finish_campaign(collected, n, spc));
+        }
+        CampaignProgram::Event(comp) => comp,
     };
-    if target.backend == SimBackend::Bitslice {
-        let collected =
-            collect_des_traces_bitslice(target, cfg, &window_cfg, &load, key, &plaintexts)?;
-        return Ok(finish_campaign(collected, n, spc));
-    }
-    let comp = CompiledSim::build(target.netlist, target.lib, &load, &window_cfg)?;
 
     // One work item per encryption. The datapath state feeding the
     // leakage cycle of encryption i is fully determined by the two
@@ -254,15 +340,13 @@ fn finish_campaign(
 /// [`BitScratch`], and per-lane results are unpacked in encryption
 /// order — byte-identical to the event path at any thread count.
 fn collect_des_traces_bitslice(
+    sim: &BitSim,
     target: &DesTarget<'_>,
     cfg: &SimConfig,
-    window_cfg: &SimConfig,
-    load: &LoadModel,
     key: u8,
     plaintexts: &[(u8, u8)],
-) -> Result<Vec<(Vec<f64>, (u8, u8), f64)>, SimError> {
+) -> Vec<(Vec<f64>, (u8, u8), f64)> {
     let n = plaintexts.len();
-    let sim = BitSim::build(target.netlist, target.lib, load, window_cfg)?;
     // Batches share a window length: encryptions 0 (3 cycles) and 1
     // (4 cycles) run alone against the reset boundary; the steady
     // state (5 cycles) packs up to 64 encryptions per batch. The
@@ -360,7 +444,7 @@ fn collect_des_traces_bitslice(
         }
         out
     });
-    Ok(per_batch.into_iter().flatten().collect())
+    per_batch.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

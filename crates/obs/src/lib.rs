@@ -126,10 +126,18 @@ pub enum Counter {
     ExecChunks,
     /// Items processed by pool workers.
     ExecItems,
+    /// Jobs completed by the serve daemon (success or failure).
+    ServeJobs,
+    /// Artifact-cache hits (stage artifacts and response payloads).
+    ServeCacheHits,
+    /// Artifact-cache misses (entries built and inserted).
+    ServeCacheMisses,
+    /// Artifact-cache evictions under the `--cache-bytes` bound.
+    ServeCacheEvicts,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 32] = [
         Counter::SimWindows,
         Counter::SimEvents,
         Counter::SimEvals,
@@ -158,6 +166,10 @@ impl Counter {
         Counter::ExecRegions,
         Counter::ExecChunks,
         Counter::ExecItems,
+        Counter::ServeJobs,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheEvicts,
     ];
 
     /// The stable dotted schema name.
@@ -191,6 +203,10 @@ impl Counter {
             Counter::ExecRegions => "exec.regions",
             Counter::ExecChunks => "exec.chunks",
             Counter::ExecItems => "exec.items",
+            Counter::ServeJobs => "serve.jobs",
+            Counter::ServeCacheHits => "serve.cache.hit",
+            Counter::ServeCacheMisses => "serve.cache.miss",
+            Counter::ServeCacheEvicts => "serve.cache.evict",
         }
     }
 }
@@ -209,14 +225,17 @@ pub enum Gauge {
     ExecRegionPeakItems,
     /// Peak BDD node count during equivalence checking.
     LecBddPeakNodes,
+    /// Peak pending-job queue depth seen by the serve daemon.
+    ServeQueuePeak,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::SimWheelPeak,
         Gauge::SimBitsliceWheelPeak,
         Gauge::ExecRegionPeakItems,
         Gauge::LecBddPeakNodes,
+        Gauge::ServeQueuePeak,
     ];
 
     /// The stable dotted schema name.
@@ -226,6 +245,7 @@ impl Gauge {
             Gauge::SimBitsliceWheelPeak => "sim.bitslice.wheel_peak",
             Gauge::ExecRegionPeakItems => "exec.region_peak_items",
             Gauge::LecBddPeakNodes => "lec.bdd_peak_nodes",
+            Gauge::ServeQueuePeak => "serve.queue_peak",
         }
     }
 }

@@ -1,0 +1,32 @@
+//! The submit-side of the protocol: one request frame out, two
+//! response frames (envelope, payload) back.
+
+use std::io;
+
+use crate::proto::{read_frame, write_frame};
+use crate::server::{connect, Bind};
+
+/// A complete server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The envelope JSON (status, metrics, structured error).
+    pub envelope: String,
+    /// The deterministic result payload.
+    pub payload: Vec<u8>,
+}
+
+/// Submits one request and reads the response.
+///
+/// # Errors
+///
+/// Propagates connect/transport errors; a non-UTF-8 envelope is
+/// reported as `InvalidData`.
+pub fn submit(bind: &Bind, request: &[u8]) -> io::Result<Response> {
+    let mut stream = connect(bind)?;
+    write_frame(&mut stream, request)?;
+    let envelope = read_frame(&mut stream)?;
+    let payload = read_frame(&mut stream)?;
+    let envelope = String::from_utf8(envelope)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "envelope is not UTF-8"))?;
+    Ok(Response { envelope, payload })
+}

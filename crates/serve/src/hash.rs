@@ -1,0 +1,147 @@
+//! Content hashing for the artifact cache: SipHash-2-4 implemented
+//! in-repo (the workspace is hermetic — no registry crates), extended
+//! to a 128-bit [`ContentHash`] by hashing the same bytes under two
+//! fixed, distinct keys.
+//!
+//! SipHash was chosen over FNV for its far better diffusion: cache
+//! keys must change for *any* single-field option edit or one-byte
+//! netlist edit (pinned by `tests/cache_key.rs`), and SipHash-2-4's
+//! avalanche behaviour makes accidental collisions between the short,
+//! highly structured canonical encodings vanishingly unlikely. The
+//! keys are fixed constants — the cache is a determinism aid, not a
+//! DoS-hardened hash table, and stable hashes across processes are
+//! exactly what a persistent on-disk tier needs.
+
+/// One lane of the 128-bit content hash: SipHash-2-4 over `data` with
+/// key `(k0, k1)`. Reference: Aumasson & Bernstein, "SipHash: a fast
+/// short-input PRF".
+pub fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    let mut v0 = 0x736f6d6570736575u64 ^ k0;
+    let mut v1 = 0x646f72616e646f6du64 ^ k1;
+    let mut v2 = 0x6c7967656e657261u64 ^ k0;
+    let mut v3 = 0x7465646279746573u64 ^ k1;
+
+    macro_rules! sipround {
+        () => {
+            v0 = v0.wrapping_add(v1);
+            v1 = v1.rotate_left(13);
+            v1 ^= v0;
+            v0 = v0.rotate_left(32);
+            v2 = v2.wrapping_add(v3);
+            v3 = v3.rotate_left(16);
+            v3 ^= v2;
+            v0 = v0.wrapping_add(v3);
+            v3 = v3.rotate_left(21);
+            v3 ^= v0;
+            v2 = v2.wrapping_add(v1);
+            v1 = v1.rotate_left(17);
+            v1 ^= v2;
+            v2 = v2.rotate_left(32);
+        };
+    }
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().unwrap());
+        v3 ^= m;
+        sipround!();
+        sipround!();
+        v0 ^= m;
+    }
+    // Final block: remaining bytes plus the length in the top byte.
+    let rest = chunks.remainder();
+    let mut last = (data.len() as u64 & 0xff) << 56;
+    for (i, &b) in rest.iter().enumerate() {
+        last |= u64::from(b) << (8 * i);
+    }
+    v3 ^= last;
+    sipround!();
+    sipround!();
+    v0 ^= last;
+    v2 ^= 0xff;
+    sipround!();
+    sipround!();
+    sipround!();
+    sipround!();
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+/// Fixed keys for the two hash lanes. Arbitrary distinct constants
+/// (`sha256("secflow-serve")` prefix bytes); changing them invalidates
+/// every on-disk cache, so they are part of the cache format.
+const LANE_A: (u64, u64) = (0x7365_6366_6c6f_7731, 0x6172_7469_6661_6374);
+const LANE_B: (u64, u64) = (0x7365_6366_6c6f_7732, 0x6361_6368_6530_3031);
+
+/// A 128-bit content hash: two independent SipHash-2-4 lanes over the
+/// same bytes. 64 bits would already make collisions unlikely; 128
+/// makes them irrelevant for a cache that may persist across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub u64, pub u64);
+
+impl ContentHash {
+    /// Hashes `data` into both lanes.
+    pub fn of(data: &[u8]) -> ContentHash {
+        ContentHash(
+            siphash24(LANE_A.0, LANE_A.1, data),
+            siphash24(LANE_B.0, LANE_B.1, data),
+        )
+    }
+
+    /// Lowercase 32-digit hex form — the on-disk cache file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Official SipHash-2-4 test vectors (reference implementation's
+    /// `vectors_sip64`): key 000102...0f, messages 00, 0001, 000102...
+    #[test]
+    fn siphash24_matches_reference_vectors() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let expected: [u64; 8] = [
+            0x726fdb47dd0e0e31,
+            0x74f839c593dc67fd,
+            0x0d6c8009d9a94f5a,
+            0x85676696d7fb7e2d,
+            0xcf2794e0277187b7,
+            0x18765564cd99a68d,
+            0xcbc9466e58fee3ce,
+            0xab0200f58b01d137,
+        ];
+        let msg: Vec<u8> = (0u8..8).collect();
+        for (len, &want) in expected.iter().enumerate() {
+            assert_eq!(
+                siphash24(k0, k1, &msg[..len]),
+                want,
+                "vector for message length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let h = ContentHash::of(b"secflow");
+        assert_ne!(h.0, h.1);
+        assert_ne!(ContentHash::of(b"secflow"), ContentHash::of(b"secfloW"));
+        assert_eq!(ContentHash::of(b"secflow"), ContentHash::of(b"secflow"));
+    }
+
+    #[test]
+    fn hex_is_32_digits() {
+        let h = ContentHash(1, 0x0a);
+        assert_eq!(h.to_hex(), format!("{:016x}{:016x}", 1, 10));
+        assert_eq!(h.to_hex().len(), 32);
+        assert_eq!(h.to_string(), h.to_hex());
+    }
+}

@@ -144,12 +144,7 @@ impl BitSim {
         load: &LoadModel,
         cfg: &SimConfig,
     ) -> Result<BitSim, SimError> {
-        if cfg.record_waveform {
-            return Err(SimError::UnsupportedConfig {
-                backend: "bitslice".into(),
-                detail: "record_waveform requires the event backend".into(),
-            });
-        }
+        cfg.validate_backend(SimBackend::Bitslice)?;
         let comp = CompiledSim::build(nl, lib, load, cfg)?;
 
         let mut cube_offsets = Vec::with_capacity(comp.n_gates + 1);

@@ -47,4 +47,27 @@ cargo bench --offline -p secflow-bench --bench flow_stages -- sim_bitslice --smo
 echo "== tier-1: observability overhead smoke (noop bound < 1%) =="
 cargo bench --offline -p secflow-bench --bench flow_stages -- obs_overhead --smoke
 
+echo "== tier-1: serve cache bench smoke (warm-vs-cold byte-identity self-check) =="
+cargo bench --offline -p secflow-bench --bench flow_stages -- serve_cache --smoke
+
+echo "== tier-1: job-server smoke (daemon, warm cache hit, byte-identical payload) =="
+cargo run --release --offline -p secflow -- serve --socket "$tmp/serve.sock" \
+    --cache-bytes $((64 * 1024 * 1024)) &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$tmp/serve.sock" ] && break
+    sleep 0.1
+done
+req='{"job":"campaign","attack":"dpa","n":150,"seed":1,"key":46}'
+cargo run --release --offline -p secflow -- submit --socket "$tmp/serve.sock" \
+    --json "$req" > "$tmp/cold.out" 2> "$tmp/cold.env"
+cargo run --release --offline -p secflow -- submit --socket "$tmp/serve.sock" \
+    --json "$req" > "$tmp/warm.out" 2> "$tmp/warm.env"
+cmp "$tmp/cold.out" "$tmp/warm.out"
+grep -q '"cached":false' "$tmp/cold.env"
+grep -q '"cached":true' "$tmp/warm.env"
+cargo run --release --offline -p secflow -- submit --socket "$tmp/serve.sock" --shutdown \
+    > /dev/null
+wait "$serve_pid"
+
 echo "tier-1 gate: OK"

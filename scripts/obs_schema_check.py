@@ -37,11 +37,13 @@ COUNTERS = [
     "lec.outputs", "lec.cell_memo_hits", "lec.ite_cache_hits",
     "lec.random_rounds",
     "exec.regions", "exec.chunks", "exec.items",
+    "serve.jobs", "serve.cache.hit", "serve.cache.miss", "serve.cache.evict",
 ]
 
 GAUGES = [
     "sim.wheel_peak", "sim.bitslice.wheel_peak",
     "exec.region_peak_items", "lec.bdd_peak_nodes",
+    "serve.queue_peak",
 ]
 
 STAGES = [

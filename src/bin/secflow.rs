@@ -26,6 +26,21 @@
 //! sets the same path from the environment), `--sim-backend
 //! event|bitslice` (simulation kernel for downstream trace campaigns;
 //! both are byte-identical).
+//!
+//! Two subcommands wrap the persistent job server (`secflow-serve`):
+//!
+//! ```text
+//! secflow serve  [--socket PATH | --listen ADDR] [--cache-bytes N]
+//!                [--cache-dir DIR] [--job-workers N] [--threads N]
+//! secflow submit [--socket PATH | --connect ADDR]
+//!                [--json TEXT | --file PATH | --shutdown | --stats]
+//! ```
+//!
+//! `serve` runs the daemon with a content-addressed artifact cache;
+//! `submit` sends one JSON job (from `--json`, a file, or stdin),
+//! writes the deterministic result payload to **stdout** and the
+//! envelope (status, per-job cache metrics, structured error) to
+//! **stderr**, and exits with the job's stage exit code.
 
 use std::fs;
 use std::path::PathBuf;
@@ -60,7 +75,11 @@ fn usage() -> ! {
         "usage: secflow <rtl.v> [--secure|--regular] [--out DIR] [--fill F] [--aspect R]\n\
          \x20              [--layers N] [--seed N] [--spaced|--shielded] [--no-verify]\n\
          \x20              [--threads N] [--restarts N] [--obs PATH]\n\
-         \x20              [--sim-backend event|bitslice]"
+         \x20              [--sim-backend event|bitslice]\n\
+         \x20      secflow serve  [--socket PATH | --listen ADDR] [--cache-bytes N]\n\
+         \x20                     [--cache-dir DIR] [--job-workers N] [--threads N]\n\
+         \x20      secflow submit [--socket PATH | --connect ADDR]\n\
+         \x20                     [--json TEXT | --file PATH | --shutdown | --stats]"
     );
     std::process::exit(2)
 }
@@ -210,7 +229,163 @@ fn render_report(kind: &str, r: &FlowReport) -> String {
     s
 }
 
+/// `secflow serve`: run the persistent job server until a `shutdown`
+/// job arrives.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut opts = secflow::serve::ServerOptions::default();
+    let mut it = args.iter();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: secflow serve [--socket PATH | --listen ADDR] [--cache-bytes N]\n\
+             \x20                    [--cache-dir DIR] [--job-workers N] [--threads N]"
+        );
+        std::process::exit(2)
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                opts.bind = secflow::serve::Bind::Unix(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--listen" => {
+                opts.bind =
+                    secflow::serve::Bind::Tcp(it.next().unwrap_or_else(|| usage()).clone())
+            }
+            "--cache-bytes" => {
+                opts.cache_bytes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--job-workers" => {
+                opts.job_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                secflow::exec::set_threads(n);
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    match secflow::serve::serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: secflow serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `secflow submit`: send one job, print payload to stdout and the
+/// envelope to stderr, and exit with the job's stage exit code.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let mut bind = secflow::serve::Bind::Unix(PathBuf::from("secflow.sock"));
+    let mut request: Option<Vec<u8>> = None;
+    let mut it = args.iter();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: secflow submit [--socket PATH | --connect ADDR]\n\
+             \x20                     [--json TEXT | --file PATH | --shutdown | --stats]\n\
+             (reads the request JSON from stdin when no source flag is given)"
+        );
+        std::process::exit(2)
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => {
+                bind = secflow::serve::Bind::Unix(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--connect" => {
+                bind = secflow::serve::Bind::Tcp(it.next().unwrap_or_else(|| usage()).clone())
+            }
+            "--json" => {
+                request = Some(it.next().unwrap_or_else(|| usage()).clone().into_bytes())
+            }
+            "--file" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                match fs::read(path) {
+                    Ok(b) => request = Some(b),
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shutdown" => request = Some(b"{\"job\":\"shutdown\"}".to_vec()),
+            "--stats" => request = Some(b"{\"job\":\"stats\"}".to_vec()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let request = request.unwrap_or_else(|| {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        if std::io::stdin().read_to_end(&mut buf).is_err() || buf.is_empty() {
+            usage();
+        }
+        buf
+    });
+    let response = match secflow::serve::submit(&bind, &request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: secflow submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", response.envelope);
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    if stdout
+        .write_all(&response.payload)
+        .and_then(|()| {
+            if response.payload.is_empty() {
+                Ok(())
+            } else {
+                stdout.write_all(b"\n")
+            }
+        })
+        .is_err()
+    {
+        return ExitCode::FAILURE;
+    }
+    drop(stdout);
+    // The envelope carries the job's stage exit code; mirror it so
+    // `submit` scripts like CLI runs.
+    match secflow::serve::Value::parse(&response.envelope) {
+        Ok(v) if v.get("ok").and_then(secflow::serve::Value::as_bool) == Some(true) => {
+            ExitCode::SUCCESS
+        }
+        Ok(v) => ExitCode::from(
+            v.get("exit_code")
+                .and_then(secflow::serve::Value::as_u64)
+                .and_then(|c| u8::try_from(c).ok())
+                .unwrap_or(1),
+        ),
+        Err(_) => ExitCode::FAILURE,
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&argv[1..]),
+        Some("submit") => return cmd_submit(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     let _obs_guard = if args.obs.is_some() {
         secflow::obs::start();

@@ -10,5 +10,6 @@ pub use secflow_netlist as netlist;
 pub use secflow_obs as obs;
 pub use secflow_pnr as pnr;
 pub use secflow_rand as rand;
+pub use secflow_serve as serve;
 pub use secflow_sim as sim;
 pub use secflow_synth as synth;
