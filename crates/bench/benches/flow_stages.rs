@@ -145,7 +145,7 @@ fn bench_power_sim_and_attack(filter: &str) {
     });
     let set = collect_des_traces(&target, &cfg, 46, 200, 1).expect("campaign");
     bench("dpa_pipeline/dpa_attack_200_traces_64_keys", K, || {
-        black_box(dpa_attack(black_box(&set.traces), 64, set.selector()));
+        black_box(dpa_attack(black_box(&set.traces), 64, set.selector()).expect("dpa"));
     });
 }
 
@@ -621,6 +621,143 @@ fn bench_serve_cache(filter: &str, smoke: bool) {
     }
 }
 
+/// Peak resident-set size in kB (`VmHWM` from `/proc/self/status`),
+/// where the platform exposes it. A high-water mark, so arm ordering
+/// matters: the streaming arm runs first, and the materialize arm's
+/// later reading shows how far the trace matrix pushed the peak.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The fused streaming campaign (bit-sliced kernel feeding the
+/// one-pass accumulators) against the materialize-then-attack path it
+/// replaces: `collect_des_traces` (event kernel — the pre-streaming
+/// default) building the full trace matrix, then the batch DPA +
+/// MTD scan over it. All arms are timed serially (thread count pinned
+/// to 1, the same discipline as `sim_bitslice`) so the ratio is
+/// per-core throughput of the pipeline itself, not parallelism. A
+/// byte-identity check runs before timing — the speedup is only
+/// meaningful if both paths compute the same statistics. The
+/// materialized bit-sliced arm is also timed so the JSON separates
+/// kernel gain from fusion gain. Results go to
+/// `results/BENCH_stream_1m.json`; the fused path must deliver at
+/// least 5× the baseline's traces/sec. `--smoke` shrinks the campaign
+/// and skips the JSON and the floor.
+fn bench_stream_1m(filter: &str, smoke: bool) {
+    if !"stream_1m".contains(filter) {
+        return;
+    }
+    use secflow_dpa::harness::{
+        analyze_trace_set, collect_des_analysis_streaming, collect_des_traces_with, AnalysisPlan,
+        CampaignProgram,
+    };
+
+    let lib = Library::lib180();
+    let mapped = map_design(&des_dpa_design(), &lib, &MapOptions::default()).expect("map");
+    let sub = substitute(&mapped, &lib).expect("substitute");
+    let cfg = SimConfig {
+        samples_per_cycle: 100,
+        ..Default::default()
+    };
+    let key = 46u8;
+    let n = if smoke { 64 } else { 8192 };
+    let k = if smoke { 1 } else { 3 };
+    let chunk = 4096;
+    let plan = AnalysisPlan {
+        n_keys: 64,
+        correct_key: key,
+        step: Some((n / 40).max(10)),
+        dpa: true,
+        cpa: false,
+    };
+    let target = |backend: SimBackend| DesTarget {
+        netlist: &sub.differential,
+        lib: &sub.diff_lib,
+        parasitics: None,
+        wddl_inputs: Some(&sub.input_pairs),
+        glitch_free: false,
+        backend,
+    };
+    let event = target(SimBackend::Event);
+    let bitslice = target(SimBackend::Bitslice);
+    let bs_program = CampaignProgram::build(&bitslice, &cfg).expect("bitslice program");
+    let ev_program = CampaignProgram::build(&event, &cfg).expect("event program");
+    let stream = || {
+        collect_des_analysis_streaming(&bs_program, &bitslice, &cfg, key, n, 1, &plan, chunk, None)
+            .expect("streaming campaign")
+    };
+    let materialize = |program: &CampaignProgram, t: &DesTarget| {
+        let set = collect_des_traces_with(program, t, &cfg, key, n, 1).expect("campaign");
+        analyze_trace_set(&set, &plan).expect("analysis")
+    };
+
+    // The ratio is only meaningful if all three arms are the same
+    // function: the event and bit-sliced kernels are differentially
+    // tested elsewhere, and the streaming accumulators must reproduce
+    // the batch statistics exactly.
+    let a = stream();
+    assert!(
+        a == materialize(&ev_program, &event),
+        "stream vs event-materialize diverged"
+    );
+    assert!(
+        a == materialize(&bs_program, &bitslice),
+        "stream vs bitslice-materialize diverged"
+    );
+
+    let stream_m = secflow_exec::with_threads(1, || {
+        time_median(&format!("stream_1m/stream_bitslice_{n}"), k, || {
+            black_box(stream());
+        })
+    });
+    let stream_rss = peak_rss_kb();
+    let mat_bs_m = secflow_exec::with_threads(1, || {
+        time_median(&format!("stream_1m/materialize_bitslice_{n}"), k, || {
+            black_box(materialize(&bs_program, &bitslice));
+        })
+    });
+    let mat_ev_m = secflow_exec::with_threads(1, || {
+        time_median(&format!("stream_1m/materialize_event_{n}"), k, || {
+            black_box(materialize(&ev_program, &event));
+        })
+    });
+    let mat_rss = peak_rss_kb();
+    println!("{}", stream_m.json_line());
+    println!("{}", mat_bs_m.json_line());
+    println!("{}", mat_ev_m.json_line());
+
+    let tps = |m: &Measurement| n as f64 / (m.median_ns as f64 / 1e9);
+    let speedup = tps(&stream_m) / tps(&mat_ev_m);
+    let json = format!(
+        "{{\"bench\":\"stream_1m\",\"threads\":1,\"n_traces\":{n},\"chunk\":{chunk},\
+         \"stream_traces_per_sec\":{:.0},\"materialize_event_traces_per_sec\":{:.0},\
+         \"materialize_bitslice_traces_per_sec\":{:.0},\"speedup\":{speedup:.1},\
+         \"stream_peak_rss_kb\":{},\"materialize_peak_rss_kb\":{},\
+         \"byte_identical\":true,\"k\":{k}}}",
+        tps(&stream_m),
+        tps(&mat_ev_m),
+        tps(&mat_bs_m),
+        stream_rss.map_or("null".to_string(), |v| v.to_string()),
+        mat_rss.map_or("null".to_string(), |v| v.to_string()),
+    );
+    println!("{json}");
+    if smoke {
+        return;
+    }
+    assert!(
+        speedup >= 5.0,
+        "fused streaming must deliver at least 5x the materialize-then-attack \
+         baseline's throughput (got {speedup:.1}x)"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_stream_1m.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench -- <substring>` runs only matching groups; the
     // harness also swallows libtest-style flags cargo may pass.
@@ -629,7 +766,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    const GROUPS: [&str; 11] = [
+    const GROUPS: [&str; 12] = [
         "cell_substitution",
         "interconnect_decomposition_des",
         "place_and_route_des",
@@ -641,6 +778,7 @@ fn main() {
         "sim_bitslice",
         "obs_overhead",
         "serve_cache",
+        "stream_1m",
     ];
     if !GROUPS.iter().any(|g| g.contains(filter.as_str())) {
         eprintln!("no bench group matches `{filter}`; groups: {GROUPS:?}");
@@ -657,4 +795,5 @@ fn main() {
     bench_sim_bitslice(&filter, smoke);
     bench_obs_overhead(&filter, smoke);
     bench_serve_cache(&filter, smoke);
+    bench_stream_1m(&filter, smoke);
 }

@@ -34,17 +34,20 @@ fn main() {
         eprintln!("simulating {n} encryptions on the {name} implementation...");
         let set = secflow_bench::ok_or_exit(collect_des_traces(&target, &cfg, PAPER_KEY, n, seed));
 
-        let dpa = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector());
-        let (hw_points, hw_mtd) = cpa_mtd_scan(&set.traces, 64, PAPER_KEY, step, |k, i| {
-            let (cl, cr) = set.ciphertexts[i];
-            sbox_hamming_model(k, cl, cr)
-        });
+        let dpa =
+            secflow_bench::analysis_or_exit(mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector()));
+        let (hw_points, hw_mtd) =
+            secflow_bench::analysis_or_exit(cpa_mtd_scan(&set.traces, 64, PAPER_KEY, step, |k, i| {
+                let (cl, cr) = set.ciphertexts[i];
+                sbox_hamming_model(k, cl, cr)
+            }));
         // The transition (Hamming-distance) model uses the previous
         // encryption's ciphertext — CMOS power follows transitions.
-        let (hd_points, hd_mtd) = cpa_mtd_scan(&set.traces, 64, PAPER_KEY, step, |k, i| {
-            let cr_prev = if i == 0 { 0 } else { set.ciphertexts[i - 1].1 };
-            sbox_hd_model(k, cr_prev, set.ciphertexts[i].1)
-        });
+        let (hd_points, hd_mtd) =
+            secflow_bench::analysis_or_exit(cpa_mtd_scan(&set.traces, 64, PAPER_KEY, step, |k, i| {
+                let cr_prev = if i == 0 { 0 } else { set.ciphertexts[i - 1].1 };
+                sbox_hd_model(k, cr_prev, set.ciphertexts[i].1)
+            }));
 
         println!("\n=== {name} implementation ===");
         println!(

@@ -65,7 +65,8 @@ fn main() {
     header("Fig. 6 (top): measurements to disclosure");
     let mut mtds = Vec::new();
     for (name, set) in &sets {
-        let scan = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector());
+        let scan =
+            secflow_bench::analysis_or_exit(mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector()));
         println!("\n--- {name} implementation ---");
         println!(
             "{:>8} {:>12} {:>14} {:>10}",
@@ -89,7 +90,7 @@ fn main() {
 
     header("Fig. 6 (bottom): peak-to-peak of differential traces per key guess");
     for (name, set) in &sets {
-        let r = dpa_attack(&set.traces, 64, set.selector());
+        let r = secflow_bench::analysis_or_exit(dpa_attack(&set.traces, 64, set.selector()));
         println!("\n--- {name} implementation at {n} measurements ---");
         for chunk in r.guesses.chunks(8) {
             let line: Vec<String> = chunk

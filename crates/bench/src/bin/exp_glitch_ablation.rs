@@ -63,8 +63,10 @@ fn main() {
         format!("{:.2}", e_f.nsd * 100.0),
     );
 
-    let scan_g = mtd_scan(&set_g.traces, 64, PAPER_KEY, step, set_g.selector());
-    let scan_f = mtd_scan(&set_f.traces, 64, PAPER_KEY, step, set_f.selector());
+    let scan_g =
+        secflow_bench::analysis_or_exit(mtd_scan(&set_g.traces, 64, PAPER_KEY, step, set_g.selector()));
+    let scan_f =
+        secflow_bench::analysis_or_exit(mtd_scan(&set_f.traces, 64, PAPER_KEY, step, set_f.selector()));
     row(
         "DPA MTD",
         scan_g.mtd.map_or("not disclosed".into(), |m| m.to_string()),

@@ -122,8 +122,20 @@ fn main() {
     };
     let naive_set = secflow_bench::ok_or_exit(collect_des_traces(&naive_target, &cfg, PAPER_KEY, n, seed));
 
-    let paper_scan = mtd_scan(&paper_set.traces, 64, PAPER_KEY, step, paper_set.selector());
-    let naive_scan = mtd_scan(&naive_set.traces, 64, PAPER_KEY, step, naive_set.selector());
+    let paper_scan = secflow_bench::analysis_or_exit(mtd_scan(
+        &paper_set.traces,
+        64,
+        PAPER_KEY,
+        step,
+        paper_set.selector(),
+    ));
+    let naive_scan = secflow_bench::analysis_or_exit(mtd_scan(
+        &naive_set.traces,
+        64,
+        PAPER_KEY,
+        step,
+        naive_set.selector(),
+    ));
 
     let paper_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&paper_set.energies, 1));
     let naive_stats = secflow_bench::analysis_or_exit(EnergyStats::try_of(&naive_set.energies, 1));

@@ -14,7 +14,7 @@ use secflow_sim::{SimBackend, SimConfig};
 
 /// Exit code for failures in post-flow analysis (stats, attacks) that
 /// have no [`secflow_core::Stage`] of their own.
-pub const ANALYSIS_EXIT_CODE: i32 = 20;
+pub const ANALYSIS_EXIT_CODE: i32 = secflow_dpa::error::ANALYSIS_EXIT_CODE;
 
 /// Reports a flow error as a structured single-line JSON object on
 /// stderr — `{"error":{"stage":...,"kind":...,"detail":...}}` — and

@@ -4,8 +4,14 @@
 //! guess partitions and sums the traces independently, always walking
 //! them in input order, so the differential statistics are
 //! byte-identical at any thread count.
+//!
+//! The batch entry points here are thin wrappers over
+//! [`crate::streaming::DpaStream`] — the whole slice is pushed as one
+//! block — so the batch and streaming paths share one accumulator
+//! implementation and agree bit for bit by construction.
 
-use secflow_exec::par_map_range;
+use crate::error::AnalysisError;
+use crate::streaming::DpaStream;
 
 /// Per-key-guess attack statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,70 +45,9 @@ impl DpaResult {
     }
 }
 
-/// Partition sums of one key guess: sums of traces with selection
-/// bit 1 / 0. Each parallel work item owns one of these and walks the
-/// traces in input order.
-struct KeySums {
-    key: u8,
-    samples: usize,
-    sum1: Vec<f64>,
-    sum0: Vec<f64>,
-    n1: usize,
-    n0: usize,
-}
-
-impl KeySums {
-    fn new(key: u8, samples: usize) -> Self {
-        KeySums {
-            key,
-            samples,
-            sum1: vec![0.0; samples],
-            sum0: vec![0.0; samples],
-            n1: 0,
-            n0: 0,
-        }
-    }
-
-    fn add(&mut self, trace: &[f64], bit: bool) {
-        assert_eq!(trace.len(), self.samples);
-        if bit {
-            for (a, &t) in self.sum1.iter_mut().zip(trace) {
-                *a += t;
-            }
-            self.n1 += 1;
-        } else {
-            for (a, &t) in self.sum0.iter_mut().zip(trace) {
-                *a += t;
-            }
-            self.n0 += 1;
-        }
-    }
-
-    /// Statistics of the differential trace in the current state.
-    fn guess(&self) -> KeyGuessResult {
-        let (mut peak, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
-        if self.n1 > 0 && self.n0 > 0 {
-            for s in 0..self.samples {
-                let d = self.sum1[s] / self.n1 as f64 - self.sum0[s] / self.n0 as f64;
-                peak = peak.max(d.abs());
-                lo = lo.min(d);
-                hi = hi.max(d);
-            }
-        } else {
-            lo = 0.0;
-            hi = 0.0;
-        }
-        KeyGuessResult {
-            key: self.key,
-            peak,
-            p2p: hi - lo,
-        }
-    }
-}
-
 /// Best key and margin over a full set of guesses (an empty guess set
 /// degenerates to key 0 with zero margin rather than panicking).
-fn finalize(guesses: Vec<KeyGuessResult>) -> DpaResult {
+pub(crate) fn finalize(guesses: Vec<KeyGuessResult>) -> DpaResult {
     let (best_key, best_peak) = guesses
         .iter()
         .max_by(|a, b| a.peak.total_cmp(&b.peak))
@@ -129,26 +74,21 @@ fn finalize(guesses: Vec<KeyGuessResult>) -> DpaResult {
 /// `select(key, trace_index)` is the predicted selection bit `D(K, C)`
 /// for the trace's known ciphertext under key guess `key`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if traces have inconsistent lengths or `n_keys == 0`.
+/// [`AnalysisError::NoKeyGuesses`] if `n_keys == 0`;
+/// [`AnalysisError::InconsistentTraceLength`] if traces have unequal
+/// lengths.
 pub fn dpa_attack(
     traces: &[Vec<f64>],
     n_keys: usize,
     select: impl Fn(u8, usize) -> bool + Sync,
-) -> DpaResult {
-    assert!(n_keys > 0);
+) -> Result<DpaResult, AnalysisError> {
     let _span = secflow_obs::span("dpa.attack");
     secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
-    let samples = traces.first().map_or(0, Vec::len);
-    let guesses = par_map_range(n_keys, |k| {
-        let mut sums = KeySums::new(k as u8, samples);
-        for (i, t) in traces.iter().enumerate() {
-            sums.add(t, select(k as u8, i));
-        }
-        sums.guess()
-    });
-    finalize(guesses)
+    let mut stream = DpaStream::new(n_keys)?;
+    stream.push_block(traces, |k, i| select(k, i))?;
+    Ok(stream.result())
 }
 
 /// One point of the MTD scan: attack statistics after the first `n`
@@ -179,67 +119,22 @@ pub struct MtdScan {
 /// Scans disclosure as a function of trace count (Fig. 6 top):
 /// evaluates the attack at every `step` traces and reports the MTD.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `step == 0` or `n_keys == 0`.
+/// [`AnalysisError::ZeroStep`] if `step == 0`, plus the
+/// [`dpa_attack`] input errors.
 pub fn mtd_scan(
     traces: &[Vec<f64>],
     n_keys: usize,
     correct_key: u8,
     step: usize,
     select: impl Fn(u8, usize) -> bool + Sync,
-) -> MtdScan {
-    assert!(step > 0 && n_keys > 0);
+) -> Result<MtdScan, AnalysisError> {
     let _span = secflow_obs::span("dpa.mtd_scan");
     secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
-    let samples = traces.first().map_or(0, Vec::len);
-    let checkpoints: Vec<usize> = (1..=traces.len())
-        .filter(|&n| n % step == 0 || n == traces.len())
-        .collect();
-    // Each key guess accumulates over the whole scan independently,
-    // emitting its differential peak at every checkpoint.
-    let peaks_per_key: Vec<Vec<f64>> = par_map_range(n_keys, |k| {
-        let mut sums = KeySums::new(k as u8, samples);
-        let mut peaks = Vec::with_capacity(checkpoints.len());
-        let mut next = 0;
-        for (i, t) in traces.iter().enumerate() {
-            sums.add(t, select(k as u8, i));
-            if next < checkpoints.len() && checkpoints[next] == i + 1 {
-                peaks.push(sums.guess().peak);
-                next += 1;
-            }
-        }
-        peaks
-    });
-    let mut points = Vec::with_capacity(checkpoints.len());
-    for (c, &n) in checkpoints.iter().enumerate() {
-        let correct_peak = peaks_per_key[correct_key as usize][c];
-        let best_wrong_peak = peaks_per_key
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| k != correct_key as usize)
-            .map(|(_, peaks)| peaks[c])
-            .fold(0.0f64, f64::max);
-        points.push(MtdPoint {
-            traces: n,
-            // A strictly larger correct peak implies the correct key
-            // is also the argmax, so this matches the old
-            // `best_key == correct && correct > wrong` condition.
-            disclosed: correct_peak > best_wrong_peak,
-            correct_peak,
-            best_wrong_peak,
-        });
-    }
-    // MTD: first checkpoint after which disclosure is stable.
-    let mut mtd = None;
-    for p in points.iter().rev() {
-        if p.disclosed {
-            mtd = Some(p.traces);
-        } else {
-            break;
-        }
-    }
-    MtdScan { points, mtd }
+    let mut stream = DpaStream::with_step(n_keys, step)?;
+    stream.push_block(traces, |k, i| select(k, i))?;
+    Ok(stream.mtd(correct_key))
 }
 
 #[cfg(test)]
@@ -274,7 +169,7 @@ mod tests {
     #[test]
     fn attack_recovers_leaky_key() {
         let (traces, data) = synthetic_traces(400, 0.5);
-        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i]));
+        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i])).unwrap();
         assert_eq!(r.best_key, 5);
         assert!(r.margin > 1.5, "margin {}", r.margin);
         assert!(r.discloses(5, 1.2));
@@ -283,7 +178,7 @@ mod tests {
     #[test]
     fn attack_fails_without_leak() {
         let (traces, data) = synthetic_traces(400, 0.0);
-        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i]));
+        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i])).unwrap();
         // No leakage: the best key is noise-determined and the margin
         // small.
         assert!(r.margin < 5.0);
@@ -293,7 +188,7 @@ mod tests {
     #[test]
     fn mtd_scan_finds_disclosure_point() {
         let (traces, data) = synthetic_traces(600, 0.4);
-        let scan = mtd_scan(&traces, 16, 5, 50, |k, i| sel(k, data[i]));
+        let scan = mtd_scan(&traces, 16, 5, 50, |k, i| sel(k, data[i])).unwrap();
         let mtd = scan.mtd.expect("key should be disclosed");
         assert!(mtd <= 600);
         // Once disclosed, later points stay disclosed.
@@ -304,7 +199,7 @@ mod tests {
     #[test]
     fn mtd_none_when_secure() {
         let (traces, data) = synthetic_traces(300, 0.0);
-        let scan = mtd_scan(&traces, 16, 5, 50, |k, i| sel(k, data[i]));
+        let scan = mtd_scan(&traces, 16, 5, 50, |k, i| sel(k, data[i])).unwrap();
         // Without leakage the final checkpoint almost surely has the
         // wrong best key; if it happens to match, MTD must still be
         // late.
@@ -316,7 +211,7 @@ mod tests {
     #[test]
     fn p2p_reported_per_key() {
         let (traces, data) = synthetic_traces(200, 0.6);
-        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i]));
+        let r = dpa_attack(&traces, 16, |k, i| sel(k, data[i])).unwrap();
         assert_eq!(r.guesses.len(), 16);
         let correct = &r.guesses[5];
         let wrong_max = r
@@ -326,5 +221,28 @@ mod tests {
             .map(|g| g.p2p)
             .fold(0.0f64, f64::max);
         assert!(correct.p2p > wrong_max);
+    }
+
+    #[test]
+    fn bad_input_yields_typed_errors() {
+        let (traces, data) = synthetic_traces(10, 0.5);
+        assert_eq!(
+            dpa_attack(&traces, 0, |k, i| sel(k, data[i])).err(),
+            Some(AnalysisError::NoKeyGuesses)
+        );
+        assert_eq!(
+            mtd_scan(&traces, 16, 5, 0, |k, i| sel(k, data[i])).err(),
+            Some(AnalysisError::ZeroStep)
+        );
+        let mut ragged = traces.clone();
+        ragged[4] = vec![0.0; 3];
+        assert_eq!(
+            dpa_attack(&ragged, 16, |k, i| sel(k, data[i])).err(),
+            Some(AnalysisError::InconsistentTraceLength {
+                index: 4,
+                got: 3,
+                expect: 8
+            })
+        );
     }
 }

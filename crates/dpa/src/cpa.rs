@@ -9,12 +9,16 @@
 //! against unprotected implementations, making it the natural
 //! escalation for evaluating the secure flow's margin.
 //!
-//! Parallel over key guesses (`secflow-exec`): the trace-only moments
-//! (Σt, Σt²) are shared and computed once serially, then each guess
-//! accumulates its hypothesis moments independently, walking the
-//! traces in input order — byte-identical at any thread count.
+//! The batch entry points are thin wrappers over
+//! [`crate::streaming::CpaStream`]: the trace-only moments (Σt, Σt²)
+//! advance serially once, each guess accumulates its hypothesis
+//! moments independently in input order (parallel over guesses via
+//! `secflow-exec`), and MTD checkpoints read the single running
+//! moment accumulator in place — no per-checkpoint snapshots —
+//! byte-identical at any thread count.
 
-use secflow_exec::par_map_range;
+use crate::error::AnalysisError;
+use crate::streaming::CpaStream;
 
 /// Per-key-guess CPA statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,84 +40,9 @@ pub struct CpaResult {
     pub margin: f64,
 }
 
-/// Trace-only moments Σt, Σt² per sample, shared across key guesses.
-struct TraceSums {
-    n: f64,
-    st: Vec<f64>,
-    stt: Vec<f64>,
-}
-
-impl TraceSums {
-    /// Accumulates the first `upto` traces in input order.
-    fn over(traces: &[Vec<f64>], samples: usize, upto: usize) -> Self {
-        let mut st = vec![0.0; samples];
-        let mut stt = vec![0.0; samples];
-        for t in &traces[..upto] {
-            assert_eq!(t.len(), samples, "inconsistent trace lengths");
-            for (s, &v) in t.iter().enumerate() {
-                st[s] += v;
-                stt[s] += v * v;
-            }
-        }
-        TraceSums {
-            n: upto as f64,
-            st,
-            stt,
-        }
-    }
-}
-
-/// Hypothesis moments of one key guess: Σh, Σh², and Σh·t per sample.
-struct KeySums {
-    samples: usize,
-    sh: f64,
-    shh: f64,
-    sht: Vec<f64>,
-}
-
-impl KeySums {
-    fn new(samples: usize) -> Self {
-        KeySums {
-            samples,
-            sh: 0.0,
-            shh: 0.0,
-            sht: vec![0.0; samples],
-        }
-    }
-
-    fn add(&mut self, trace: &[f64], h: f64) {
-        debug_assert_eq!(trace.len(), self.samples);
-        self.sh += h;
-        self.shh += h * h;
-        for (acc, &t) in self.sht.iter_mut().zip(trace) {
-            *acc += h * t;
-        }
-    }
-
-    /// Peak |Pearson r| over all samples against the given trace
-    /// moments.
-    fn peak(&self, ts: &TraceSums) -> f64 {
-        let n = ts.n;
-        let var_h = self.shh - self.sh * self.sh / n;
-        let mut peak = 0.0f64;
-        if var_h > 1e-12 {
-            for s in 0..self.samples {
-                let var_t = ts.stt[s] - ts.st[s] * ts.st[s] / n;
-                if var_t <= 1e-12 {
-                    continue;
-                }
-                let cov = self.sht[s] - self.sh * ts.st[s] / n;
-                let r = cov / (var_h * var_t).sqrt();
-                peak = peak.max(r.abs());
-            }
-        }
-        peak
-    }
-}
-
 /// Best key and margin over a full set of guesses (an empty guess set
 /// degenerates to key 0 with zero margin rather than panicking).
-fn finalize(guesses: Vec<CpaKeyResult>) -> CpaResult {
+pub(crate) fn finalize(guesses: Vec<CpaKeyResult>) -> CpaResult {
     let (best_key, best_corr) = guesses
         .iter()
         .max_by(|a, b| a.peak_corr.total_cmp(&b.peak_corr))
@@ -138,30 +67,21 @@ fn finalize(guesses: Vec<CpaKeyResult>) -> CpaResult {
 /// (e.g. a Hamming weight) predicted for that trace under the key
 /// guess.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n_keys == 0` or traces have inconsistent lengths.
+/// [`AnalysisError::NoKeyGuesses`] if `n_keys == 0`;
+/// [`AnalysisError::InconsistentTraceLength`] if traces have unequal
+/// lengths.
 pub fn cpa_attack(
     traces: &[Vec<f64>],
     n_keys: usize,
     model: impl Fn(u8, usize) -> f64 + Sync,
-) -> CpaResult {
-    assert!(n_keys > 0);
+) -> Result<CpaResult, AnalysisError> {
     let _span = secflow_obs::span("dpa.cpa");
     secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
-    let samples = traces.first().map_or(0, Vec::len);
-    let ts = TraceSums::over(traces, samples, traces.len());
-    let guesses = par_map_range(n_keys, |k| {
-        let mut sums = KeySums::new(samples);
-        for (i, t) in traces.iter().enumerate() {
-            sums.add(t, model(k as u8, i));
-        }
-        CpaKeyResult {
-            key: k as u8,
-            peak_corr: sums.peak(&ts),
-        }
-    });
-    finalize(guesses)
+    let mut stream = CpaStream::new(n_keys)?;
+    stream.push_block(traces, |k, i| model(k, i))?;
+    Ok(stream.result())
 }
 
 /// One point of a CPA MTD scan.
@@ -179,88 +99,23 @@ pub struct CpaMtdPoint {
 
 /// CPA disclosure as a function of trace count; same semantics as
 /// [`crate::attack::mtd_scan`].
+///
+/// # Errors
+///
+/// [`AnalysisError::ZeroStep`] if `step == 0`, plus the
+/// [`cpa_attack`] input errors.
 pub fn cpa_mtd_scan(
     traces: &[Vec<f64>],
     n_keys: usize,
     correct_key: u8,
     step: usize,
     model: impl Fn(u8, usize) -> f64 + Sync,
-) -> (Vec<CpaMtdPoint>, Option<usize>) {
-    assert!(step > 0 && n_keys > 0);
+) -> Result<(Vec<CpaMtdPoint>, Option<usize>), AnalysisError> {
     let _span = secflow_obs::span("dpa.cpa_mtd_scan");
     secflow_obs::add(secflow_obs::Counter::DpaGuesses, n_keys as u64);
-    let samples = traces.first().map_or(0, Vec::len);
-    let checkpoints: Vec<usize> = (1..=traces.len())
-        .filter(|&n| n % step == 0 || n == traces.len())
-        .collect();
-    // Trace-only moments snapshotted serially at every checkpoint,
-    // then shared by all key guesses.
-    let trace_snaps: Vec<TraceSums> = {
-        let mut snaps = Vec::with_capacity(checkpoints.len());
-        let mut running = TraceSums {
-            n: 0.0,
-            st: vec![0.0; samples],
-            stt: vec![0.0; samples],
-        };
-        let mut next = 0;
-        for (i, t) in traces.iter().enumerate() {
-            assert_eq!(t.len(), samples, "inconsistent trace lengths");
-            for (s, &v) in t.iter().enumerate() {
-                running.st[s] += v;
-                running.stt[s] += v * v;
-            }
-            running.n += 1.0;
-            if next < checkpoints.len() && checkpoints[next] == i + 1 {
-                snaps.push(TraceSums {
-                    n: running.n,
-                    st: running.st.clone(),
-                    stt: running.stt.clone(),
-                });
-                next += 1;
-            }
-        }
-        snaps
-    };
-    let corrs_per_key: Vec<Vec<f64>> = par_map_range(n_keys, |k| {
-        let mut sums = KeySums::new(samples);
-        let mut corrs = Vec::with_capacity(checkpoints.len());
-        let mut next = 0;
-        for (i, t) in traces.iter().enumerate() {
-            sums.add(t, model(k as u8, i));
-            if next < checkpoints.len() && checkpoints[next] == i + 1 {
-                corrs.push(sums.peak(&trace_snaps[next]));
-                next += 1;
-            }
-        }
-        corrs
-    });
-    let mut points = Vec::with_capacity(checkpoints.len());
-    for (c, &n) in checkpoints.iter().enumerate() {
-        let correct = corrs_per_key[correct_key as usize][c];
-        let wrong = corrs_per_key
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| k != correct_key as usize)
-            .map(|(_, corrs)| corrs[c])
-            .fold(0.0f64, f64::max);
-        points.push(CpaMtdPoint {
-            traces: n,
-            // Strictly beating every wrong key implies being the
-            // argmax, matching the old condition.
-            disclosed: correct > wrong,
-            correct_corr: correct,
-            best_wrong_corr: wrong,
-        });
-    }
-    let mut mtd = None;
-    for p in points.iter().rev() {
-        if p.disclosed {
-            mtd = Some(p.traces);
-        } else {
-            break;
-        }
-    }
-    (points, mtd)
+    let mut stream = CpaStream::with_step(n_keys, step)?;
+    stream.push_block(traces, |k, i| model(k, i))?;
+    Ok(stream.mtd(correct_key))
 }
 
 /// The Hamming-weight CPA model for the Fig. 4 module: the weight of
@@ -306,7 +161,7 @@ mod tests {
     #[test]
     fn cpa_recovers_key() {
         let (traces, crs) = leaky_traces(200, 0.3);
-        let r = cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i]));
+        let r = cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i])).unwrap();
         assert_eq!(r.best_key, 21);
         assert!(r.margin > 1.3, "margin {}", r.margin);
         assert!(r.guesses[21].peak_corr > 0.9);
@@ -315,7 +170,7 @@ mod tests {
     #[test]
     fn cpa_fails_without_leak() {
         let (traces, crs) = leaky_traces(200, 0.0);
-        let r = cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i]));
+        let r = cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i])).unwrap();
         assert!(r.guesses[21].peak_corr < 0.5);
         assert!(r.margin < 2.0);
     }
@@ -323,8 +178,10 @@ mod tests {
     #[test]
     fn cpa_mtd_scan_discloses_early() {
         let (traces, crs) = leaky_traces(400, 0.3);
-        let (points, mtd) =
-            cpa_mtd_scan(&traces, 64, 21, 40, |k, i| sbox_hamming_model(k, 0, crs[i]));
+        let (points, mtd) = cpa_mtd_scan(&traces, 64, 21, 40, |k, i| {
+            sbox_hamming_model(k, 0, crs[i])
+        })
+        .unwrap();
         let m = mtd.expect("disclosed");
         assert!(m <= 200, "CPA too slow: {m}");
         assert!(points.iter().any(|p| p.disclosed));
@@ -333,7 +190,30 @@ mod tests {
     #[test]
     fn constant_model_yields_zero_correlation() {
         let (traces, _) = leaky_traces(50, 0.3);
-        let r = cpa_attack(&traces, 4, |_, _| 1.0);
+        let r = cpa_attack(&traces, 4, |_, _| 1.0).unwrap();
         assert!(r.guesses.iter().all(|g| g.peak_corr == 0.0));
+    }
+
+    #[test]
+    fn bad_input_yields_typed_errors() {
+        let (traces, crs) = leaky_traces(10, 0.3);
+        assert_eq!(
+            cpa_attack(&traces, 0, |k, i| sbox_hamming_model(k, 0, crs[i])).err(),
+            Some(AnalysisError::NoKeyGuesses)
+        );
+        assert_eq!(
+            cpa_mtd_scan(&traces, 64, 21, 0, |k, i| sbox_hamming_model(k, 0, crs[i])).err(),
+            Some(AnalysisError::ZeroStep)
+        );
+        let mut ragged = traces.clone();
+        ragged[7] = vec![0.0; 2];
+        assert_eq!(
+            cpa_attack(&ragged, 64, |k, i| sbox_hamming_model(k, 0, crs[i])).err(),
+            Some(AnalysisError::InconsistentTraceLength {
+                index: 7,
+                got: 2,
+                expect: 6
+            })
+        );
     }
 }

@@ -9,7 +9,15 @@
 //!   paper's §3 anticipates ("the more powerful an attacker is, the
 //!   better his results may be");
 //! * [`harness`] — end-to-end trace collection for the Fig. 4 DES
-//!   module on a simulated implementation (regular or WDDL);
+//!   module on a simulated implementation (regular or WDDL), with a
+//!   fused streaming path that feeds simulator output straight into
+//!   the accumulators;
+//! * [`streaming`] — one-pass DPA/CPA/MTD accumulators with
+//!   block-wise input and incremental checkpoints, byte-identical to
+//!   the batch attacks at any thread count or chunking;
+//! * [`store`] — out-of-core chunked trace store for million-trace
+//!   campaign replay;
+//! * [`error`] — the typed analysis/campaign error taxonomy;
 //! * [`stats`] — the energy figures of §3: mean energy per cycle,
 //!   normalized energy deviation (NED) and normalized standard
 //!   deviation (NSD);
@@ -24,6 +32,9 @@ pub mod attack;
 pub mod cpa;
 pub mod dfa;
 pub mod ema;
+pub mod error;
 pub mod harness;
 pub mod stats;
+pub mod store;
+pub mod streaming;
 pub mod timing;

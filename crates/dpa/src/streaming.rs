@@ -1,0 +1,714 @@
+//! One-pass streaming accumulators for the DPA/CPA/MTD statistics.
+//!
+//! The batch attacks in [`crate::attack`] and [`crate::cpa`] walk a
+//! materialized `&[Vec<f64>]` once per key guess. These streams keep
+//! the same per-guess partition sums and moment sums, but accept the
+//! traces block by block, so a campaign can feed simulator output
+//! straight into the statistics and never hold more than one block of
+//! traces at a time: O(points × guesses) state, not O(traces × points).
+//!
+//! # Determinism contract
+//!
+//! The batch attacks parallelize over *key guesses*; each guess
+//! left-folds the traces serially in input order. A stream replays
+//! exactly that fold — per guess, `add` runs over the same traces in
+//! the same order regardless of how the caller chunks them into
+//! blocks — so every statistic is byte-identical (`f64::to_bits`) to
+//! the batch path at any thread count and any block size. Guesses are
+//! sharded across workers with [`secflow_exec::par_for_each_mut`]; no
+//! floating-point value crosses a worker boundary mid-fold, so there
+//! is nothing to merge and nothing to reorder. The shared CPA trace
+//! moments advance serially on the caller thread, bracketed at
+//! checkpoint boundaries, before any per-guess work touches them.
+//!
+//! MTD checkpoints are incremental snapshots: peaks are evaluated
+//! against the *running* accumulator state at every multiple of
+//! `step` (plus a final point at the end of the stream), never by
+//! cloning sums or re-scanning earlier traces.
+
+use crate::attack::{DpaResult, KeyGuessResult, MtdPoint, MtdScan};
+use crate::cpa::{CpaKeyResult, CpaMtdPoint, CpaResult};
+use crate::error::AnalysisError;
+use secflow_exec::par_for_each_mut;
+
+/// Partition sums of one DPA key guess: sums of traces with selection
+/// bit 1 / 0, walked in input order.
+pub(crate) struct DpaKeySums {
+    key: u8,
+    samples: usize,
+    sum1: Vec<f64>,
+    sum0: Vec<f64>,
+    n1: usize,
+    n0: usize,
+}
+
+impl DpaKeySums {
+    pub(crate) fn new(key: u8, samples: usize) -> Self {
+        DpaKeySums {
+            key,
+            samples,
+            sum1: vec![0.0; samples],
+            sum0: vec![0.0; samples],
+            n1: 0,
+            n0: 0,
+        }
+    }
+
+    pub(crate) fn add(&mut self, trace: &[f64], bit: bool) {
+        debug_assert_eq!(trace.len(), self.samples);
+        if bit {
+            for (a, &t) in self.sum1.iter_mut().zip(trace) {
+                *a += t;
+            }
+            self.n1 += 1;
+        } else {
+            for (a, &t) in self.sum0.iter_mut().zip(trace) {
+                *a += t;
+            }
+            self.n0 += 1;
+        }
+    }
+
+    /// Statistics of the differential trace in the current state.
+    pub(crate) fn guess(&self) -> KeyGuessResult {
+        let (mut peak, mut lo, mut hi) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+        if self.n1 > 0 && self.n0 > 0 {
+            for s in 0..self.samples {
+                let d = self.sum1[s] / self.n1 as f64 - self.sum0[s] / self.n0 as f64;
+                peak = peak.max(d.abs());
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+        } else {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        KeyGuessResult {
+            key: self.key,
+            peak,
+            p2p: hi - lo,
+        }
+    }
+}
+
+/// Trace-only moments Σt, Σt² per sample, shared across CPA key
+/// guesses. Advanced serially in input order; integer-valued `n`
+/// increments stay exact (traces ≪ 2⁵³).
+pub(crate) struct TraceSums {
+    pub(crate) n: f64,
+    pub(crate) st: Vec<f64>,
+    pub(crate) stt: Vec<f64>,
+}
+
+impl TraceSums {
+    pub(crate) fn new(samples: usize) -> Self {
+        TraceSums {
+            n: 0.0,
+            st: vec![0.0; samples],
+            stt: vec![0.0; samples],
+        }
+    }
+
+    pub(crate) fn add(&mut self, trace: &[f64]) {
+        for (s, &v) in trace.iter().enumerate() {
+            self.st[s] += v;
+            self.stt[s] += v * v;
+        }
+        self.n += 1.0;
+    }
+}
+
+/// Hypothesis moments of one CPA key guess: Σh, Σh², and Σh·t per
+/// sample.
+pub(crate) struct CpaKeySums {
+    samples: usize,
+    sh: f64,
+    shh: f64,
+    sht: Vec<f64>,
+}
+
+impl CpaKeySums {
+    pub(crate) fn new(samples: usize) -> Self {
+        CpaKeySums {
+            samples,
+            sh: 0.0,
+            shh: 0.0,
+            sht: vec![0.0; samples],
+        }
+    }
+
+    pub(crate) fn add(&mut self, trace: &[f64], h: f64) {
+        debug_assert_eq!(trace.len(), self.samples);
+        self.sh += h;
+        self.shh += h * h;
+        for (acc, &t) in self.sht.iter_mut().zip(trace) {
+            *acc += h * t;
+        }
+    }
+
+    /// Peak |Pearson r| over all samples against the given trace
+    /// moments.
+    pub(crate) fn peak(&self, ts: &TraceSums) -> f64 {
+        let n = ts.n;
+        let var_h = self.shh - self.sh * self.sh / n;
+        let mut peak = 0.0f64;
+        if var_h > 1e-12 {
+            for s in 0..self.samples {
+                let var_t = ts.stt[s] - ts.st[s] * ts.st[s] / n;
+                if var_t <= 1e-12 {
+                    continue;
+                }
+                let cov = self.sht[s] - self.sh * ts.st[s] / n;
+                let r = cov / (var_h * var_t).sqrt();
+                peak = peak.max(r.abs());
+            }
+        }
+        peak
+    }
+}
+
+struct DpaLane {
+    sums: DpaKeySums,
+    /// Differential peak recorded at each checkpoint, in order.
+    peaks: Vec<f64>,
+}
+
+/// A streaming DPA (and, with [`DpaStream::with_step`], MTD scan).
+///
+/// Push traces in blocks of any size; read the attack result or the
+/// MTD scan at any point. State is O(samples × n_keys) plus one peak
+/// per key per checkpoint.
+pub struct DpaStream {
+    n_keys: usize,
+    step: Option<usize>,
+    n: usize,
+    samples: Option<usize>,
+    lanes: Vec<DpaLane>,
+    checkpoint_counts: Vec<usize>,
+}
+
+impl DpaStream {
+    /// A stream without MTD checkpoints (plain attack statistics).
+    pub fn new(n_keys: usize) -> Result<Self, AnalysisError> {
+        if n_keys == 0 {
+            return Err(AnalysisError::NoKeyGuesses);
+        }
+        Ok(DpaStream {
+            n_keys,
+            step: None,
+            n: 0,
+            samples: None,
+            lanes: Vec::new(),
+            checkpoint_counts: Vec::new(),
+        })
+    }
+
+    /// A stream that records an MTD checkpoint every `step` traces
+    /// (plus a final one at the end of the stream, matching the batch
+    /// scan's checkpoint grid).
+    pub fn with_step(n_keys: usize, step: usize) -> Result<Self, AnalysisError> {
+        if step == 0 {
+            return Err(AnalysisError::ZeroStep);
+        }
+        let mut s = DpaStream::new(n_keys)?;
+        s.step = Some(step);
+        Ok(s)
+    }
+
+    /// Traces consumed so far.
+    pub fn traces_seen(&self) -> usize {
+        self.n
+    }
+
+    /// Validates a block and establishes `samples`/lanes from the
+    /// first trace ever seen. On error the stream is unchanged.
+    fn admit<T: AsRef<[f64]>>(&mut self, traces: &[T]) -> Result<(), AnalysisError> {
+        let first = match traces.first() {
+            Some(t) => t.as_ref().len(),
+            None => return Ok(()),
+        };
+        let expect = self.samples.unwrap_or(first);
+        for (j, t) in traces.iter().enumerate() {
+            let got = t.as_ref().len();
+            if got != expect {
+                return Err(AnalysisError::InconsistentTraceLength {
+                    index: self.n + j,
+                    got,
+                    expect,
+                });
+            }
+        }
+        if self.samples.is_none() {
+            self.samples = Some(expect);
+            self.lanes = (0..self.n_keys)
+                .map(|k| DpaLane {
+                    sums: DpaKeySums::new(k as u8, expect),
+                    peaks: Vec::new(),
+                })
+                .collect();
+        }
+        Ok(())
+    }
+
+    /// Folds a block of traces into every key guess's partition sums.
+    ///
+    /// `select(key, j)` is the predicted selection bit for the block's
+    /// `j`-th trace (block-local index) under that key guess.
+    pub fn push_block<T: AsRef<[f64]> + Sync>(
+        &mut self,
+        traces: &[T],
+        select: impl Fn(u8, usize) -> bool + Sync,
+    ) -> Result<(), AnalysisError> {
+        self.admit(traces)?;
+        let base = self.n;
+        let step = self.step;
+        par_for_each_mut(&mut self.lanes, |k, lane| {
+            for (j, t) in traces.iter().enumerate() {
+                lane.sums.add(t.as_ref(), select(k as u8, j));
+                if let Some(step) = step {
+                    if (base + j + 1) % step == 0 {
+                        lane.peaks.push(lane.sums.guess().peak);
+                    }
+                }
+            }
+        });
+        let mut checkpoints = 0u64;
+        if let Some(step) = step {
+            for j in 0..traces.len() {
+                if (base + j + 1) % step == 0 {
+                    self.checkpoint_counts.push(base + j + 1);
+                    checkpoints += 1;
+                }
+            }
+        }
+        self.n += traces.len();
+        secflow_obs::add(secflow_obs::Counter::DpaStreamBlocks, 1);
+        secflow_obs::add(secflow_obs::Counter::DpaStreamTraces, traces.len() as u64);
+        secflow_obs::add(secflow_obs::Counter::DpaStreamCheckpoints, checkpoints);
+        Ok(())
+    }
+
+    /// Attack statistics over everything streamed so far. Bitwise
+    /// equal to [`crate::attack::dpa_attack`] over the same traces.
+    pub fn result(&self) -> DpaResult {
+        let guesses = if self.lanes.is_empty() {
+            // No traces yet: the batch path's zero-sample, zero-count
+            // sums degenerate to peak 0 / p2p 0 per key.
+            (0..self.n_keys)
+                .map(|k| KeyGuessResult {
+                    key: k as u8,
+                    peak: 0.0,
+                    p2p: 0.0,
+                })
+                .collect()
+        } else {
+            self.lanes.iter().map(|l| l.sums.guess()).collect()
+        };
+        crate::attack::finalize(guesses)
+    }
+
+    /// The MTD scan over everything streamed so far. Records the
+    /// final checkpoint (at the current trace count) on first call;
+    /// idempotent afterwards. Bitwise equal to
+    /// [`crate::attack::mtd_scan`] over the same traces and step.
+    pub fn mtd(&mut self, correct_key: u8) -> MtdScan {
+        if self.n > 0 && self.checkpoint_counts.last() != Some(&self.n) {
+            for lane in &mut self.lanes {
+                lane.peaks.push(lane.sums.guess().peak);
+            }
+            self.checkpoint_counts.push(self.n);
+            secflow_obs::add(secflow_obs::Counter::DpaStreamCheckpoints, 1);
+        }
+        let mut points = Vec::with_capacity(self.checkpoint_counts.len());
+        for (c, &n) in self.checkpoint_counts.iter().enumerate() {
+            let correct_peak = self.lanes[correct_key as usize].peaks[c];
+            let best_wrong_peak = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != correct_key as usize)
+                .map(|(_, l)| l.peaks[c])
+                .fold(0.0f64, f64::max);
+            points.push(MtdPoint {
+                traces: n,
+                disclosed: correct_peak > best_wrong_peak,
+                correct_peak,
+                best_wrong_peak,
+            });
+        }
+        let mut mtd = None;
+        for p in points.iter().rev() {
+            if p.disclosed {
+                mtd = Some(p.traces);
+            } else {
+                break;
+            }
+        }
+        MtdScan { points, mtd }
+    }
+}
+
+struct CpaLane {
+    sums: CpaKeySums,
+    /// Peak |r| recorded at each checkpoint, in order.
+    corrs: Vec<f64>,
+}
+
+/// A streaming CPA (and, with [`CpaStream::with_step`], MTD scan).
+///
+/// The shared trace moments are one running accumulator, advanced
+/// serially and read in place at every checkpoint — no per-checkpoint
+/// snapshots (O(points) transient memory however dense the grid).
+pub struct CpaStream {
+    n_keys: usize,
+    step: Option<usize>,
+    n: usize,
+    samples: Option<usize>,
+    ts: TraceSums,
+    lanes: Vec<CpaLane>,
+    checkpoint_counts: Vec<usize>,
+}
+
+impl CpaStream {
+    /// A stream without MTD checkpoints (plain attack statistics).
+    pub fn new(n_keys: usize) -> Result<Self, AnalysisError> {
+        if n_keys == 0 {
+            return Err(AnalysisError::NoKeyGuesses);
+        }
+        Ok(CpaStream {
+            n_keys,
+            step: None,
+            n: 0,
+            samples: None,
+            ts: TraceSums::new(0),
+            lanes: Vec::new(),
+            checkpoint_counts: Vec::new(),
+        })
+    }
+
+    /// A stream that records an MTD checkpoint every `step` traces
+    /// (plus a final one at the end of the stream).
+    pub fn with_step(n_keys: usize, step: usize) -> Result<Self, AnalysisError> {
+        if step == 0 {
+            return Err(AnalysisError::ZeroStep);
+        }
+        let mut s = CpaStream::new(n_keys)?;
+        s.step = Some(step);
+        Ok(s)
+    }
+
+    /// Traces consumed so far.
+    pub fn traces_seen(&self) -> usize {
+        self.n
+    }
+
+    fn admit<T: AsRef<[f64]>>(&mut self, traces: &[T]) -> Result<(), AnalysisError> {
+        let first = match traces.first() {
+            Some(t) => t.as_ref().len(),
+            None => return Ok(()),
+        };
+        let expect = self.samples.unwrap_or(first);
+        for (j, t) in traces.iter().enumerate() {
+            let got = t.as_ref().len();
+            if got != expect {
+                return Err(AnalysisError::InconsistentTraceLength {
+                    index: self.n + j,
+                    got,
+                    expect,
+                });
+            }
+        }
+        if self.samples.is_none() {
+            self.samples = Some(expect);
+            self.ts = TraceSums::new(expect);
+            self.lanes = (0..self.n_keys)
+                .map(|_| CpaLane {
+                    sums: CpaKeySums::new(expect),
+                    corrs: Vec::new(),
+                })
+                .collect();
+        }
+        Ok(())
+    }
+
+    /// Folds a block of traces into the shared trace moments and every
+    /// key guess's hypothesis moments.
+    ///
+    /// `model(key, j)` is the hypothetical power for the block's
+    /// `j`-th trace (block-local index) under that key guess. Blocks
+    /// are split internally at checkpoint boundaries so the shared
+    /// moments are read only when they hold exactly the checkpoint's
+    /// trace count.
+    pub fn push_block<T: AsRef<[f64]> + Sync>(
+        &mut self,
+        traces: &[T],
+        model: impl Fn(u8, usize) -> f64 + Sync,
+    ) -> Result<(), AnalysisError> {
+        self.admit(traces)?;
+        let base = self.n;
+        let m = traces.len();
+        let mut checkpoints = 0u64;
+        let mut start = 0;
+        while start < m {
+            let end = match self.step {
+                // Next multiple of `step` past `base + start`, clamped
+                // to the block.
+                Some(step) => ((base + start) / step * step + step - base).min(m),
+                None => m,
+            };
+            // Shared moments advance serially in input order before
+            // any per-guess work reads them — the batch fold's order.
+            for t in &traces[start..end] {
+                self.ts.add(t.as_ref());
+            }
+            let at_checkpoint = self.step.is_some_and(|s| (base + end) % s == 0);
+            let seg = &traces[start..end];
+            let ts = &self.ts;
+            par_for_each_mut(&mut self.lanes, |k, lane| {
+                for (j, t) in seg.iter().enumerate() {
+                    lane.sums.add(t.as_ref(), model(k as u8, start + j));
+                }
+                if at_checkpoint {
+                    lane.corrs.push(lane.sums.peak(ts));
+                }
+            });
+            if at_checkpoint {
+                self.checkpoint_counts.push(base + end);
+                checkpoints += 1;
+            }
+            start = end;
+        }
+        self.n += m;
+        secflow_obs::add(secflow_obs::Counter::DpaStreamBlocks, 1);
+        secflow_obs::add(secflow_obs::Counter::DpaStreamTraces, m as u64);
+        secflow_obs::add(secflow_obs::Counter::DpaStreamCheckpoints, checkpoints);
+        Ok(())
+    }
+
+    /// Attack statistics over everything streamed so far. Bitwise
+    /// equal to [`crate::cpa::cpa_attack`] over the same traces.
+    pub fn result(&self) -> CpaResult {
+        let guesses = if self.lanes.is_empty() {
+            // No traces: n = 0 makes every variance NaN, so the batch
+            // path reports zero correlation for every key.
+            (0..self.n_keys)
+                .map(|k| CpaKeyResult {
+                    key: k as u8,
+                    peak_corr: 0.0,
+                })
+                .collect()
+        } else {
+            self.lanes
+                .iter()
+                .enumerate()
+                .map(|(k, l)| CpaKeyResult {
+                    key: k as u8,
+                    peak_corr: l.sums.peak(&self.ts),
+                })
+                .collect()
+        };
+        crate::cpa::finalize(guesses)
+    }
+
+    /// The MTD scan over everything streamed so far; same final-
+    /// checkpoint and idempotence behavior as [`DpaStream::mtd`].
+    /// Bitwise equal to [`crate::cpa::cpa_mtd_scan`].
+    pub fn mtd(&mut self, correct_key: u8) -> (Vec<CpaMtdPoint>, Option<usize>) {
+        if self.n > 0 && self.checkpoint_counts.last() != Some(&self.n) {
+            let ts = &self.ts;
+            for lane in &mut self.lanes {
+                lane.corrs.push(lane.sums.peak(ts));
+            }
+            self.checkpoint_counts.push(self.n);
+            secflow_obs::add(secflow_obs::Counter::DpaStreamCheckpoints, 1);
+        }
+        let mut points = Vec::with_capacity(self.checkpoint_counts.len());
+        for (c, &n) in self.checkpoint_counts.iter().enumerate() {
+            let correct = self.lanes[correct_key as usize].corrs[c];
+            let wrong = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != correct_key as usize)
+                .map(|(_, l)| l.corrs[c])
+                .fold(0.0f64, f64::max);
+            points.push(CpaMtdPoint {
+                traces: n,
+                disclosed: correct > wrong,
+                correct_corr: correct,
+                best_wrong_corr: wrong,
+            });
+        }
+        let mut mtd = None;
+        for p in points.iter().rev() {
+            if p.disclosed {
+                mtd = Some(p.traces);
+            } else {
+                break;
+            }
+        }
+        (points, mtd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::dpa_attack;
+    use crate::cpa::{cpa_attack, sbox_hamming_model};
+
+    fn traces_and_data(n: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut traces = Vec::new();
+        let mut data = Vec::new();
+        let mut state = 31u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let c = ((state >> 33) & 0x3f) as u8;
+            data.push(c);
+            let hw = f64::from(secflow_crypto::des::sbox(0, c ^ 9).count_ones());
+            let mut t = vec![1.0; 7];
+            t[2] += 0.2 * hw;
+            t[5] += ((state >> 13) & 7) as f64 * 0.03;
+            traces.push(t);
+        }
+        (traces, data)
+    }
+
+    fn sel(key: u8, c: u8) -> bool {
+        secflow_crypto::des::sbox(0, (c ^ key) & 63) & 1 == 1
+    }
+
+    fn bits(r: &DpaResult) -> Vec<(u64, u64)> {
+        r.guesses
+            .iter()
+            .map(|g| (g.peak.to_bits(), g.p2p.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn dpa_stream_matches_batch_across_chunkings() {
+        let (traces, data) = traces_and_data(157);
+        let batch = dpa_attack(&traces, 16, |k, i| sel(k, data[i])).unwrap();
+        for chunk in [1, 63, 64, 65, 157] {
+            let mut s = DpaStream::new(16).unwrap();
+            for block in traces.chunks(chunk) {
+                let base = s.traces_seen();
+                s.push_block(block, |k, j| sel(k, data[base + j])).unwrap();
+            }
+            let got = s.result();
+            assert_eq!(bits(&got), bits(&batch), "chunk {chunk}");
+            assert_eq!(got.best_key, batch.best_key);
+            assert_eq!(got.margin.to_bits(), batch.margin.to_bits());
+        }
+    }
+
+    #[test]
+    fn dpa_stream_mtd_matches_batch_scan() {
+        let (traces, data) = traces_and_data(130);
+        let batch = crate::attack::mtd_scan(&traces, 16, 9, 25, |k, i| sel(k, data[i])).unwrap();
+        for chunk in [1, 63, 64, 65] {
+            let mut s = DpaStream::with_step(16, 25).unwrap();
+            for block in traces.chunks(chunk) {
+                let base = s.traces_seen();
+                s.push_block(block, |k, j| sel(k, data[base + j])).unwrap();
+            }
+            let scan = s.mtd(9);
+            assert_eq!(scan, batch, "chunk {chunk}");
+            // Idempotent: a second read returns the same scan.
+            assert_eq!(s.mtd(9), batch);
+        }
+    }
+
+    #[test]
+    fn cpa_stream_matches_batch_across_chunkings() {
+        let (traces, data) = traces_and_data(149);
+        let batch = cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, data[i])).unwrap();
+        for chunk in [1, 63, 64, 65, 149] {
+            let mut s = CpaStream::new(64).unwrap();
+            for block in traces.chunks(chunk) {
+                let base = s.traces_seen();
+                s.push_block(block, |k, j| sbox_hamming_model(k, 0, data[base + j]))
+                    .unwrap();
+            }
+            let got = s.result();
+            let a: Vec<u64> = got.guesses.iter().map(|g| g.peak_corr.to_bits()).collect();
+            let b: Vec<u64> = batch
+                .guesses
+                .iter()
+                .map(|g| g.peak_corr.to_bits())
+                .collect();
+            assert_eq!(a, b, "chunk {chunk}");
+            assert_eq!(got.best_key, batch.best_key);
+        }
+    }
+
+    #[test]
+    fn cpa_stream_mtd_matches_batch_scan() {
+        let (traces, data) = traces_and_data(123);
+        let (bpoints, bmtd) =
+            crate::cpa::cpa_mtd_scan(&traces, 64, 9, 30, |k, i| sbox_hamming_model(k, 0, data[i]))
+                .unwrap();
+        for chunk in [1, 64, 65] {
+            let mut s = CpaStream::with_step(64, 30).unwrap();
+            for block in traces.chunks(chunk) {
+                let base = s.traces_seen();
+                s.push_block(block, |k, j| sbox_hamming_model(k, 0, data[base + j]))
+                    .unwrap();
+            }
+            let (points, mtd) = s.mtd(9);
+            assert_eq!(points, bpoints, "chunk {chunk}");
+            assert_eq!(mtd, bmtd);
+        }
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert_eq!(
+            DpaStream::new(0).err(),
+            Some(AnalysisError::NoKeyGuesses)
+        );
+        assert_eq!(
+            DpaStream::with_step(16, 0).err(),
+            Some(AnalysisError::ZeroStep)
+        );
+        assert_eq!(CpaStream::new(0).err(), Some(AnalysisError::NoKeyGuesses));
+        assert_eq!(
+            CpaStream::with_step(64, 0).err(),
+            Some(AnalysisError::ZeroStep)
+        );
+    }
+
+    #[test]
+    fn ragged_trace_is_reported_with_global_index() {
+        let mut s = DpaStream::new(4).unwrap();
+        s.push_block(&[vec![1.0; 5], vec![2.0; 5]], |_, _| true)
+            .unwrap();
+        let err = s
+            .push_block(&[vec![3.0; 5], vec![4.0; 6]], |_, _| true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::InconsistentTraceLength {
+                index: 3,
+                got: 6,
+                expect: 5
+            }
+        );
+        // The failed block left the stream untouched.
+        assert_eq!(s.traces_seen(), 2);
+    }
+
+    #[test]
+    fn empty_stream_degenerates_like_batch() {
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let batch = dpa_attack(&empty, 8, |_, _| true).unwrap();
+        let s = DpaStream::new(8).unwrap();
+        assert_eq!(s.result(), batch);
+        let cbatch = cpa_attack(&empty, 8, |_, _| 1.0).unwrap();
+        let cs = CpaStream::new(8).unwrap();
+        assert_eq!(cs.result(), cbatch);
+        let mut ms = DpaStream::with_step(8, 10).unwrap();
+        let scan = ms.mtd(0);
+        assert!(scan.points.is_empty() && scan.mtd.is_none());
+    }
+}

@@ -92,6 +92,12 @@ pub enum Counter {
     DpaTraces,
     /// Key guesses evaluated by DPA/CPA attacks.
     DpaGuesses,
+    /// Trace blocks folded into streaming DPA/CPA accumulators.
+    DpaStreamBlocks,
+    /// Traces consumed by streaming accumulators.
+    DpaStreamTraces,
+    /// Incremental MTD checkpoints evaluated by streaming scans.
+    DpaStreamCheckpoints,
     /// Annealing moves attempted by the placer.
     PlaceMoves,
     /// Annealing moves accepted.
@@ -137,7 +143,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::SimWindows,
         Counter::SimEvents,
         Counter::SimEvals,
@@ -149,6 +155,9 @@ impl Counter {
         Counter::SimBitsliceRises,
         Counter::DpaTraces,
         Counter::DpaGuesses,
+        Counter::DpaStreamBlocks,
+        Counter::DpaStreamTraces,
+        Counter::DpaStreamCheckpoints,
         Counter::PlaceMoves,
         Counter::PlaceAccepted,
         Counter::PlaceRestarts,
@@ -186,6 +195,9 @@ impl Counter {
             Counter::SimBitsliceRises => "sim.bitslice.rises",
             Counter::DpaTraces => "dpa.traces",
             Counter::DpaGuesses => "dpa.guesses",
+            Counter::DpaStreamBlocks => "dpa.stream.blocks",
+            Counter::DpaStreamTraces => "dpa.stream.traces",
+            Counter::DpaStreamCheckpoints => "dpa.stream.checkpoints",
             Counter::PlaceMoves => "place.moves",
             Counter::PlaceAccepted => "place.accepted",
             Counter::PlaceRestarts => "place.restarts",

@@ -25,9 +25,11 @@ use secflow_core::{
     Substitution,
 };
 use secflow_crypto::dpa_module::des_dpa_design;
-use secflow_dpa::attack::{dpa_attack, mtd_scan};
-use secflow_dpa::cpa::{cpa_attack, cpa_mtd_scan, sbox_hamming_model};
-use secflow_dpa::harness::{collect_des_traces_with, CampaignProgram, DesTarget, TraceSet};
+use secflow_dpa::error::{AnalysisError, CampaignError, ANALYSIS_EXIT_CODE};
+use secflow_dpa::harness::{
+    analyze_trace_set, collect_des_analysis_streaming, collect_des_traces_with, AnalysisPlan,
+    CampaignAnalysis, CampaignProgram, DesTarget, TraceSet,
+};
 use secflow_extract::{try_extract, Parasitics};
 use secflow_netlist::{parse_verilog, Netlist};
 use secflow_obs as obs;
@@ -38,7 +40,7 @@ use secflow_synth::map_design;
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::key::{flow_options_bytes, sim_config_bytes, stage_key, CacheStage, Enc};
-use crate::proto::{AttackKind, CampaignRequest, FlowRequest, Request, RequestError};
+use crate::proto::{AttackKind, CampaignRequest, FlowRequest, Request, RequestError, TracePath};
 
 /// A structured job failure: the `FlowError` taxonomy (stage name,
 /// variant kind, detail, stage exit code 10–19) plus the `request`
@@ -73,6 +75,32 @@ impl From<RequestError> for JobError {
             kind: "BadRequest".to_string(),
             detail: e.0,
             exit_code: 2,
+        }
+    }
+}
+
+impl From<AnalysisError> for JobError {
+    fn from(e: AnalysisError) -> JobError {
+        JobError {
+            stage: "analysis".to_string(),
+            kind: e.kind().to_string(),
+            detail: e.to_string(),
+            exit_code: ANALYSIS_EXIT_CODE,
+        }
+    }
+}
+
+impl From<CampaignError> for JobError {
+    fn from(e: CampaignError) -> JobError {
+        match e {
+            CampaignError::Sim(e) => FlowError::Sim(e).into(),
+            CampaignError::Analysis(e) => e.into(),
+            CampaignError::Store(e) => JobError {
+                stage: "analysis".to_string(),
+                kind: "Store".to_string(),
+                detail: e.to_string(),
+                exit_code: ANALYSIS_EXIT_CODE,
+            },
         }
     }
 }
@@ -356,27 +384,46 @@ impl Engine {
             |_| size::program(target.netlist, &c.cfg),
         )?;
 
-        // The trace set depends on everything: options, full sim
-        // config (noise included), key, n, seed. The attack kind is
-        // deliberately *not* keyed — a CPA job reuses the DPA job's
-        // traces.
-        let mut campaign_opts = ob.clone();
-        campaign_opts.extend_from_slice(&sim_config_bytes(&c.cfg));
-        let mut e = Enc::new();
-        e.u64("key", u64::from(c.key))
-            .u64("n", c.n as u64)
-            .u64("seed", c.seed);
-        campaign_opts.extend_from_slice(&e.build());
-        let traces = self.cache.get_or_try(
-            stage_key(&impl_input, &campaign_opts, CacheStage::Traces),
-            || {
-                collect_des_traces_with(&program, &target, &c.cfg, c.key, c.n, c.seed)
-                    .map_err(FlowError::Sim)
-            },
-            size::traces,
-        )?;
+        let plan = AnalysisPlan {
+            n_keys: 64,
+            correct_key: c.key,
+            step: c.mtd.then(|| (c.n / 40).max(10)),
+            dpa: c.attack == AttackKind::Dpa,
+            cpa: c.attack == AttackKind::Cpa,
+        };
+        let analysis = match c.trace_path {
+            TracePath::Materialize => {
+                // The trace set depends on everything: options, full
+                // sim config (noise included), key, n, seed. The
+                // attack kind is deliberately *not* keyed — a CPA job
+                // reuses the DPA job's traces.
+                let mut campaign_opts = ob.clone();
+                campaign_opts.extend_from_slice(&sim_config_bytes(&c.cfg));
+                let mut e = Enc::new();
+                e.u64("key", u64::from(c.key))
+                    .u64("n", c.n as u64)
+                    .u64("seed", c.seed);
+                campaign_opts.extend_from_slice(&e.build());
+                let traces = self.cache.get_or_try(
+                    stage_key(&impl_input, &campaign_opts, CacheStage::Traces),
+                    || {
+                        collect_des_traces_with(&program, &target, &c.cfg, c.key, c.n, c.seed)
+                            .map_err(FlowError::Sim)
+                    },
+                    size::traces,
+                )?;
+                analyze_trace_set(&traces, &plan).map_err(JobError::from)?
+            }
+            // The streaming path never materializes the trace matrix,
+            // so there is nothing stage-sized to cache — equal requests
+            // still hit the response cache (trace_path is part of the
+            // canonical request).
+            TracePath::Streaming => collect_des_analysis_streaming(
+                &program, &target, &c.cfg, c.key, c.n, c.seed, &plan, STREAM_CHUNK, None,
+            )?,
+        };
 
-        Ok(render_campaign(c, &traces))
+        Ok(render_campaign(c, &analysis))
     }
 
     /// Runs a flow backend on submitted Verilog text. The parsed
@@ -411,6 +458,11 @@ impl Engine {
 /// the binary, so its identity — not its bytes — is the input.
 const CAMPAIGN_INPUT: &[u8] = b"builtin:des_dpa";
 
+/// Traces simulated per accumulator block on the streaming path. Big
+/// enough to amortize the parallel fan-out, small enough that a block
+/// of 1 k-sample traces stays a few tens of MB.
+const STREAM_CHUNK: usize = 4096;
+
 fn render_stats(jobs: u64, s: CacheStats) -> Vec<u8> {
     let mut cache = Obj::new();
     cache
@@ -430,7 +482,7 @@ fn render_stats(jobs: u64, s: CacheStats) -> Vec<u8> {
 /// pure function of the request — trace statistics, attack outcomes,
 /// MTD — with floats through the shared writer's shortest-round-trip
 /// formatting; no timings, no cache state.
-fn render_campaign(c: &CampaignRequest, set: &TraceSet) -> Vec<u8> {
+fn render_campaign(c: &CampaignRequest, a: &CampaignAnalysis) -> Vec<u8> {
     let mut o = Obj::new();
     o.str("job", if c.mtd { "campaign" } else { "attack" })
         .str(
@@ -438,74 +490,63 @@ fn render_campaign(c: &CampaignRequest, set: &TraceSet) -> Vec<u8> {
             if c.secure { "secure" } else { "regular" },
         )
         .str("attack", c.attack.name())
-        .u64("n", set.traces.len() as u64)
+        .u64("n", a.n as u64)
         .u64("seed", c.seed)
         .u64("key", u64::from(c.key))
-        .u64("samples_per_trace", set.samples_per_trace as u64);
-    let mean_energy = set.energies.iter().sum::<f64>() / set.energies.len() as f64;
+        .u64("samples_per_trace", a.samples_per_trace as u64);
+    let mean_energy = a.energy_sum / a.n as f64;
     o.f64("mean_energy_fj", mean_energy);
-    let step = (c.n / 40).max(10);
-    match c.attack {
-        AttackKind::Dpa => {
-            let r = dpa_attack(&set.traces, 64, set.selector());
-            o.u64("best_key", u64::from(r.best_key)).f64("margin", r.margin);
-            let mut guesses = Arr::new();
-            for g in &r.guesses {
-                let mut go = Obj::new();
-                go.u64("key", u64::from(g.key)).f64("p2p", g.p2p);
-                guesses.raw(&go.build());
-            }
-            o.raw("guesses", &guesses.build());
-            if c.mtd {
-                let scan = mtd_scan(&set.traces, 64, c.key, step, set.selector());
-                match scan.mtd {
-                    Some(m) => o.u64("mtd", m as u64),
-                    None => o.raw("mtd", "null"),
-                };
-                let mut points = Arr::new();
-                for p in &scan.points {
-                    let mut po = Obj::new();
-                    po.u64("traces", p.traces as u64)
-                        .raw("disclosed", if p.disclosed { "true" } else { "false" })
-                        .f64("correct_peak", p.correct_peak)
-                        .f64("best_wrong_peak", p.best_wrong_peak);
-                    points.raw(&po.build());
-                }
-                o.raw("points", &points.build());
-            }
+    if let Some(r) = &a.dpa {
+        o.u64("best_key", u64::from(r.best_key)).f64("margin", r.margin);
+        let mut guesses = Arr::new();
+        for g in &r.guesses {
+            let mut go = Obj::new();
+            go.u64("key", u64::from(g.key)).f64("p2p", g.p2p);
+            guesses.raw(&go.build());
         }
-        AttackKind::Cpa => {
-            let model = |k: u8, i: usize| {
-                let (cl, cr) = set.ciphertexts[i];
-                sbox_hamming_model(k, cl, cr)
-            };
-            let r = cpa_attack(&set.traces, 64, model);
-            o.u64("best_key", u64::from(r.best_key)).f64("margin", r.margin);
-            let mut guesses = Arr::new();
-            for g in &r.guesses {
-                let mut go = Obj::new();
-                go.u64("key", u64::from(g.key)).f64("peak_corr", g.peak_corr);
-                guesses.raw(&go.build());
-            }
-            o.raw("guesses", &guesses.build());
-            if c.mtd {
-                let (pts, mtd) = cpa_mtd_scan(&set.traces, 64, c.key, step, model);
-                match mtd {
-                    Some(m) => o.u64("mtd", m as u64),
-                    None => o.raw("mtd", "null"),
-                };
-                let mut points = Arr::new();
-                for p in &pts {
-                    let mut po = Obj::new();
-                    po.u64("traces", p.traces as u64)
-                        .raw("disclosed", if p.disclosed { "true" } else { "false" })
-                        .f64("correct_corr", p.correct_corr)
-                        .f64("best_wrong_corr", p.best_wrong_corr);
-                    points.raw(&po.build());
-                }
-                o.raw("points", &points.build());
-            }
+        o.raw("guesses", &guesses.build());
+    }
+    if let Some(scan) = &a.dpa_mtd {
+        match scan.mtd {
+            Some(m) => o.u64("mtd", m as u64),
+            None => o.raw("mtd", "null"),
+        };
+        let mut points = Arr::new();
+        for p in &scan.points {
+            let mut po = Obj::new();
+            po.u64("traces", p.traces as u64)
+                .raw("disclosed", if p.disclosed { "true" } else { "false" })
+                .f64("correct_peak", p.correct_peak)
+                .f64("best_wrong_peak", p.best_wrong_peak);
+            points.raw(&po.build());
         }
+        o.raw("points", &points.build());
+    }
+    if let Some(r) = &a.cpa {
+        o.u64("best_key", u64::from(r.best_key)).f64("margin", r.margin);
+        let mut guesses = Arr::new();
+        for g in &r.guesses {
+            let mut go = Obj::new();
+            go.u64("key", u64::from(g.key)).f64("peak_corr", g.peak_corr);
+            guesses.raw(&go.build());
+        }
+        o.raw("guesses", &guesses.build());
+    }
+    if let Some((pts, mtd)) = &a.cpa_mtd {
+        match mtd {
+            Some(m) => o.u64("mtd", *m as u64),
+            None => o.raw("mtd", "null"),
+        };
+        let mut points = Arr::new();
+        for p in pts {
+            let mut po = Obj::new();
+            po.u64("traces", p.traces as u64)
+                .raw("disclosed", if p.disclosed { "true" } else { "false" })
+                .f64("correct_corr", p.correct_corr)
+                .f64("best_wrong_corr", p.best_wrong_corr);
+            points.raw(&po.build());
+        }
+        o.raw("points", &points.build());
     }
     o.build().into_bytes()
 }

@@ -104,6 +104,28 @@ impl AttackKind {
     }
 }
 
+/// How campaign traces flow from the simulator to the attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePath {
+    /// Materialize the full trace set (cached as a stage artifact,
+    /// O(traces × points) memory).
+    Materialize,
+    /// Stream simulator blocks straight into one-pass accumulators
+    /// (O(points × guesses) memory; no trace-set artifact). Results
+    /// are byte-identical to the materialized path.
+    Streaming,
+}
+
+impl TracePath {
+    /// Stable name used in requests.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePath::Materialize => "materialize",
+            TracePath::Streaming => "streaming",
+        }
+    }
+}
+
 /// A measurement campaign + attack job on the built-in Fig. 4 DES
 /// module.
 #[derive(Debug, Clone)]
@@ -112,6 +134,8 @@ pub struct CampaignRequest {
     pub secure: bool,
     /// Which attack to run on the collected traces.
     pub attack: AttackKind,
+    /// Materialized trace set or fused streaming accumulation.
+    pub trace_path: TracePath,
     /// Run the MTD scan in addition to the full-trace attack.
     pub mtd: bool,
     /// Number of encryptions.
@@ -390,6 +414,7 @@ impl Request {
                         "job",
                         "implementation",
                         "attack",
+                        "trace_path",
                         "n",
                         "seed",
                         "key",
@@ -403,6 +428,15 @@ impl Request {
                     Some("cpa") => AttackKind::Cpa,
                     Some(other) => {
                         return Err(bad(format!("`attack` must be dpa|cpa, got `{other}`")))
+                    }
+                };
+                let trace_path = match get_str(&v, "trace_path")? {
+                    None | Some("materialize") => TracePath::Materialize,
+                    Some("streaming") => TracePath::Streaming,
+                    Some(other) => {
+                        return Err(bad(format!(
+                            "`trace_path` must be materialize|streaming, got `{other}`"
+                        )))
                     }
                 };
                 let n = get_u64(&v, "n")?.unwrap_or(2000) as usize;
@@ -424,6 +458,7 @@ impl Request {
                 Ok(Request::Campaign(CampaignRequest {
                     secure: parse_implementation(&v)?,
                     attack,
+                    trace_path,
                     mtd: job == "campaign",
                     n,
                     seed: get_u64(&v, "seed")?.unwrap_or(1),

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         eprintln!("simulating {n} encryptions on the {name} implementation...");
         let set = collect_des_traces(&target, &cfg, PAPER_KEY, n, 1).expect("campaign simulates");
-        let scan = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector());
+        let scan = mtd_scan(&set.traces, 64, PAPER_KEY, step, set.selector()).expect("mtd scan");
         match scan.mtd {
             Some(m) => println!("{name}: key {PAPER_KEY} DISCLOSED after {m} measurements"),
             None => println!("{name}: key NOT disclosed within {n} measurements"),

@@ -50,6 +50,13 @@ cargo bench --offline -p secflow-bench --bench flow_stages -- obs_overhead --smo
 echo "== tier-1: serve cache bench smoke (warm-vs-cold byte-identity self-check) =="
 cargo bench --offline -p secflow-bench --bench flow_stages -- serve_cache --smoke
 
+echo "== tier-1: million-trace MTD smoke (fused streaming + trace-store replay) =="
+cargo run --release --offline -p secflow-bench --bin exp_mtd_1m -- --smoke \
+    --trace-store "$tmp/mtd1m_store" > /dev/null
+
+echo "== tier-1: streaming pipeline bench smoke (stream-vs-batch byte-identity self-check) =="
+cargo bench --offline -p secflow-bench --bench flow_stages -- stream_1m --smoke
+
 echo "== tier-1: job-server smoke (daemon, warm cache hit, byte-identical payload) =="
 cargo run --release --offline -p secflow -- serve --socket "$tmp/serve.sock" \
     --cache-bytes $((64 * 1024 * 1024)) &

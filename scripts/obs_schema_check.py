@@ -30,6 +30,7 @@ COUNTERS = [
     "sim.bitslice.batches", "sim.bitslice.lanes", "sim.bitslice.events",
     "sim.bitslice.evals", "sim.bitslice.rises",
     "dpa.traces", "dpa.guesses",
+    "dpa.stream.blocks", "dpa.stream.traces", "dpa.stream.checkpoints",
     "place.moves", "place.accepted", "place.restarts",
     "route.nets", "route.ripups", "route.iterations",
     "extract.nets", "extract.couplings",

@@ -97,8 +97,8 @@ fn energy_signature_and_leak_direction() {
     let reg_stats = EnergyStats::try_of(&reg_set.energies, 1).unwrap();
     let sec_stats = EnergyStats::try_of(&sec_set.energies, 1).unwrap();
 
-    let reg_attack = dpa_attack(&reg_set.traces, 64, reg_set.selector());
-    let sec_attack = dpa_attack(&sec_set.traces, 64, sec_set.selector());
+    let reg_attack = dpa_attack(&reg_set.traces, 64, reg_set.selector()).unwrap();
+    let sec_attack = dpa_attack(&sec_set.traces, 64, sec_set.selector()).unwrap();
     let norm_peak = |r: &secflow::dpa::attack::DpaResult| {
         let correct = r.guesses[PAPER_KEY as usize].peak;
         let wrong = r

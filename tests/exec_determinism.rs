@@ -50,10 +50,10 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
     let campaign = || -> TraceSet { collect_des_traces(&target, &cfg, 46, 24, 9).unwrap() };
     let reference = with_threads(1, campaign);
     let ref_attack = with_threads(1, || {
-        dpa_attack(&reference.traces, 64, reference.selector())
+        dpa_attack(&reference.traces, 64, reference.selector()).unwrap()
     });
     let ref_scan = with_threads(1, || {
-        mtd_scan(&reference.traces, 64, 46, 10, reference.selector())
+        mtd_scan(&reference.traces, 64, 46, 10, reference.selector()).unwrap()
     });
 
     for t in THREAD_COUNTS {
@@ -68,14 +68,14 @@ fn campaign_and_dpa_are_identical_across_thread_counts() {
             assert_eq!(bits(a), bits(b), "{t} threads");
         }
 
-        let attack = with_threads(t, || dpa_attack(&set.traces, 64, set.selector()));
+        let attack = with_threads(t, || dpa_attack(&set.traces, 64, set.selector()).unwrap());
         assert_eq!(attack.best_key, ref_attack.best_key, "{t} threads");
         for (a, b) in attack.guesses.iter().zip(&ref_attack.guesses) {
             assert_eq!(a.peak.to_bits(), b.peak.to_bits(), "{t} threads");
             assert_eq!(a.p2p.to_bits(), b.p2p.to_bits(), "{t} threads");
         }
 
-        let scan = with_threads(t, || mtd_scan(&set.traces, 64, 46, 10, set.selector()));
+        let scan = with_threads(t, || mtd_scan(&set.traces, 64, 46, 10, set.selector()).unwrap());
         assert_eq!(scan.mtd, ref_scan.mtd, "{t} threads");
         for (a, b) in scan.points.iter().zip(&ref_scan.points) {
             assert_eq!(a.traces, b.traces, "{t} threads");
@@ -154,11 +154,11 @@ fn cpa_is_identical_across_thread_counts() {
     }
 
     let reference = with_threads(1, || {
-        cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i]))
+        cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i])).unwrap()
     });
     for t in THREAD_COUNTS {
         let r = with_threads(t, || {
-            cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i]))
+            cpa_attack(&traces, 64, |k, i| sbox_hamming_model(k, 0, crs[i])).unwrap()
         });
         assert_eq!(r.best_key, reference.best_key, "{t} threads");
         assert_eq!(
